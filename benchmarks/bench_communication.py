@@ -1,0 +1,30 @@
+"""Section V-D — communication overhead accounting.
+
+Paper anchors: features shrink from 1536 B (one device) to 512 B (ten
+devices) against a 150528 B raw image — a 294x reduction; the maximum
+per-device communication time at the 2 Mbps tc cap is 5.86 ms.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.experiments import communication_rows
+from repro.edge.network import RAW_IMAGE_BYTES, tc_capped_link
+
+
+def test_communication_accounting(benchmark):
+    rows = benchmark(communication_rows)
+    print_table("Section V-D: feature sizes and transfer times", rows)
+    by_n = {r["devices"]: r for r in rows}
+    assert by_n[1]["feature_bytes"] == 1536
+    assert by_n[10]["feature_bytes"] == 512
+    assert abs(by_n[10]["reduction_x"] - 294.0) < 0.5
+    assert all(r["transfer_ms"] < 7.0 for r in rows)
+
+
+def test_raw_image_transfer_dominates(benchmark):
+    """Shipping the raw image instead of features costs ~100x more time."""
+    link = tc_capped_link()
+    image_time = benchmark(link.transfer_seconds, RAW_IMAGE_BYTES)
+    feature_time = link.transfer_seconds(512)
+    print(f"\nraw image: {image_time * 1e3:.1f} ms, "
+          f"feature: {feature_time * 1e3:.2f} ms")
+    assert image_time / feature_time > 100

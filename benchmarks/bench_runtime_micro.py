@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the substrate itself: autograd throughput, pruning
+surgery cost, simulator event rate, and process-emulation round trips.
+
+These are engineering benchmarks (no paper counterpart): they track the
+reproduction's own performance so regressions in the numpy framework or
+the DES kernel are visible.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.edge.device import DeviceModel
+from repro.edge.network import LinkModel
+from repro.edge.runtime import EdgeCluster, WorkerSpec
+from repro.edge.simulator import DeploymentSpec, SubModelProfile, simulate_inference
+from repro.models.vit import ViTConfig, VisionTransformer
+from repro.pruning.surgery import prune_residual_channels
+
+
+def small_vit():
+    cfg = ViTConfig(image_size=16, patch_size=4, num_classes=10, depth=2,
+                    embed_dim=32, num_heads=4)
+    return VisionTransformer(cfg, rng=np.random.default_rng(0))
+
+
+def test_vit_forward_throughput(benchmark):
+    model = small_vit()
+    model.eval()
+    x = nn.Tensor(np.random.default_rng(0).normal(
+        size=(8, 3, 16, 16)).astype(np.float32))
+
+    def forward():
+        with nn.no_grad():
+            return model(x)
+
+    out = benchmark(forward)
+    assert out.shape == (8, 10)
+
+
+def test_vit_train_step_throughput(benchmark):
+    model = small_vit()
+    opt = nn.Adam(model.parameters(), lr=1e-3)
+    x = nn.Tensor(np.random.default_rng(0).normal(
+        size=(8, 3, 16, 16)).astype(np.float32))
+    y = np.arange(8) % 10
+
+    def step():
+        loss = nn.cross_entropy(model(x), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(loss.item())
+
+
+def test_pruning_surgery_cost(benchmark):
+    model = small_vit()
+    keep = np.arange(16)
+    pruned = benchmark(prune_residual_channels, model, keep)
+    assert pruned.config.embed_dim == 16
+
+
+def test_simulator_event_rate(benchmark):
+    devices = [DeviceModel(f"d{i}", macs_per_second=1e9) for i in range(10)]
+    profiles = {f"m{i}": SubModelProfile(f"m{i}", 1e8, 64) for i in range(10)}
+    placement = {f"m{i}": f"d{i}" for i in range(10)}
+    spec = DeploymentSpec(devices=devices, placement=placement,
+                          profiles=profiles,
+                          fusion_device=DeviceModel("f", macs_per_second=1e9),
+                          fusion_flops=1e5)
+    result = benchmark(simulate_inference, spec, 20)
+    assert len(result.latencies) == 20
+
+
+def test_edge_cluster_roundtrip(benchmark):
+    cfg = ViTConfig(image_size=8, patch_size=4, num_classes=3, depth=1,
+                    embed_dim=8, num_heads=2)
+    model = VisionTransformer(cfg, rng=np.random.default_rng(0))
+    spec = WorkerSpec.from_vit(
+        "w0", model, flops_per_sample=1e6,
+        device=DeviceModel("w0", macs_per_second=1e12),
+        link=LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0))
+    x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+    with EdgeCluster([spec], time_scale=0.0) as cluster:
+        features, _ = benchmark(cluster.infer_features, x)
+    assert "w0" in features

@@ -1,0 +1,28 @@
+"""Table I — standard ViT model profiles on Raspberry Pi 4B.
+
+Paper values (224x224, patch 16):
+
+    Model      Depth Width Heads Params  Flops   Latency   Mem
+    ViT-Small  12    384   6     22.1M   4.25G   9628 ms   83 MB
+    ViT-Base   12    768   12    86.6M   16.86G  36940 ms  327 MB
+    ViT-Large  24    1024  16    304.4M  59.69G  118828 ms 1157 MB
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.experiments import table1_rows
+
+
+def test_table1_model_profiles(benchmark):
+    rows = benchmark(table1_rows)
+    print_table("Table I: standard ViT profiles (Pi-4B model)", rows)
+    by_model = {r["Model"]: r for r in rows}
+    assert abs(by_model["ViT-Base"]["Latency (ms)"] - 36940) < 20
+    assert abs(by_model["ViT-Base"]["Params (M)"] - 86.6) < 0.1
+
+
+def test_table1_imagenet_vs_task_head(benchmark):
+    """Head size barely moves the profile: 10-class vs 1000-class."""
+    rows_1000 = table1_rows(num_classes=1000)
+    rows_10 = benchmark(table1_rows, num_classes=10)
+    for r1000, r10 in zip(rows_1000, rows_10):
+        assert abs(r1000["Params (M)"] - r10["Params (M)"]) < 1.1

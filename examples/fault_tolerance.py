@@ -1,0 +1,73 @@
+"""Graceful degradation when edge devices fail.
+
+ED-ViT's class-partitioned design has a natural robustness property the
+paper leaves as future work: if a device crashes, the fusion MLP can
+zero-fill the missing feature slot and keep classifying with the surviving
+sub-models — accuracy degrades by roughly the crashed sub-model's class
+share instead of collapsing to zero.
+
+This script builds a 5-device system, then kills devices one by one and
+reports fused accuracy plus the simulated latency of the degraded fleet.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro.core.edvit import EDViTConfig, build_edvit
+from repro.core.metrics import format_table
+from repro.core.training import TrainConfig, train_classifier
+from repro.data import cifar10_like
+from repro.edge.device import make_fleet, raspberry_pi_4b
+from repro.edge.simulator import simulate_inference
+from repro.models.vit import ViTConfig, VisionTransformer
+from repro.pruning.pipeline import PruneConfig
+
+MB = 2 ** 20
+NUM_DEVICES = 5
+
+
+def main() -> None:
+    dataset = cifar10_like(image_size=16, train_per_class=48,
+                           test_per_class=16, noise_std=0.3)
+    config = ViTConfig(image_size=16, patch_size=4, in_channels=3,
+                       num_classes=10, depth=2, embed_dim=32, num_heads=4)
+    model = VisionTransformer(config, rng=np.random.default_rng(0))
+    train_classifier(model, dataset.x_train, dataset.y_train,
+                     TrainConfig(epochs=12, lr=3e-3, seed=0))
+
+    fleet = make_fleet(NUM_DEVICES)
+    system = build_edvit(
+        model, dataset, [d.to_spec() for d in fleet],
+        EDViTConfig(num_devices=NUM_DEVICES, memory_budget_bytes=64 * MB,
+                    prune=PruneConfig(probe_size=12, head_adapt_epochs=2,
+                                      stage_finetune_epochs=1,
+                                      retrain_epochs=3, backend="kl"),
+                    fusion_epochs=12, fusion_lr=3e-3, seed=0))
+    deployment = system.deployment(fleet, raspberry_pi_4b("fusion"))
+
+    rows = []
+    failed: set[int] = set()
+    for step in range(NUM_DEVICES):
+        failed_devices = {fleet[i].device_id for i in failed}
+        sim = simulate_inference(deployment, num_samples=1,
+                                 failed_devices=failed_devices)
+        lost_classes = sorted(
+            c for i in failed for c in system.submodels[i].classes)
+        rows.append({
+            "failed devices": len(failed),
+            "lost classes": ",".join(map(str, lost_classes)) or "-",
+            "fused accuracy": system.accuracy_under_failures(
+                dataset, failed) if failed else system.accuracy(dataset),
+            "sim latency (ms)": sim.max_latency * 1e3,
+        })
+        failed.add(step)  # kill the next device for the following round
+
+    print(format_table(rows))
+    print("\nAccuracy falls roughly in proportion to the crashed devices' "
+          "class share; latency never increases, and the fusion barrier "
+          "never deadlocks.")
+
+
+if __name__ == "__main__":
+    main()

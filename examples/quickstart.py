@@ -1,0 +1,85 @@
+"""Quickstart: split a Vision Transformer across 3 emulated edge devices.
+
+Runs the entire ED-ViT pipeline (Fig. 1 of the paper) at laptop scale:
+
+1. train a small ViT on a synthetic 10-class image dataset;
+2. split it into 3 class-specific sub-models, prune each with the
+   three-stage KL pruner, and train the fusion MLP;
+3. report accuracy / size / FLOPs, and simulate deployment latency on a
+   fleet of Raspberry-Pi-class devices.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.edvit import EDViTConfig, build_edvit
+from repro.core.metrics import format_table
+from repro.core.training import TrainConfig, evaluate, train_classifier
+from repro.data import cifar10_like
+from repro.edge.device import make_fleet, raspberry_pi_4b
+from repro.edge.simulator import simulate_inference
+from repro.models.vit import ViTConfig, VisionTransformer
+from repro.profiling import module_size_mb, paper_flops
+from repro.pruning.pipeline import PruneConfig
+
+MB = 2 ** 20
+NUM_DEVICES = 3
+
+
+def main() -> None:
+    print("== 1. Train the original Vision Transformer ==")
+    dataset = cifar10_like(image_size=16, train_per_class=48,
+                           test_per_class=16, noise_std=0.3)
+    config = ViTConfig(image_size=16, patch_size=4, in_channels=3,
+                       num_classes=10, depth=2, embed_dim=32, num_heads=4)
+    model = VisionTransformer(config, rng=np.random.default_rng(0))
+    train_classifier(model, dataset.x_train, dataset.y_train,
+                     TrainConfig(epochs=12, lr=3e-3, seed=0))
+    original_acc = evaluate(model, dataset.x_test, dataset.y_test)
+    print(f"original test accuracy: {original_acc:.3f}, "
+          f"size: {module_size_mb(model):.2f} MB")
+
+    print(f"\n== 2. Build ED-ViT across {NUM_DEVICES} devices ==")
+    fleet = make_fleet(NUM_DEVICES)
+    system = build_edvit(
+        model, dataset, [d.to_spec() for d in fleet],
+        EDViTConfig(num_devices=NUM_DEVICES,
+                    memory_budget_bytes=64 * MB,
+                    prune=PruneConfig(probe_size=16, head_adapt_epochs=2,
+                                      stage_finetune_epochs=1,
+                                      retrain_epochs=3, backend="kl"),
+                    fusion_epochs=12, fusion_lr=3e-3, seed=0))
+
+    rows = []
+    for i, sm in enumerate(system.submodels):
+        rows.append({
+            "sub-model": i,
+            "classes": ",".join(map(str, sm.classes)),
+            "kept heads": config.num_heads - sm.hp,
+            "size (MB)": module_size_mb(sm.model),
+            "GMACs": paper_flops(sm.model.config) / 1e9,
+            "device": system.plan.mapping[f"submodel-{i}"],
+        })
+    print(format_table(rows))
+
+    print("\n== 3. Evaluate the distributed system ==")
+    fused = system.accuracy(dataset)
+    averaged = system.softmax_average_accuracy(dataset)
+    print(f"fused accuracy:       {fused:.3f}  (original {original_acc:.3f})")
+    print(f"softmax-avg accuracy: {averaged:.3f}  (the 'w/o retrain' variant)")
+    print(f"total sub-model size: {system.total_size_mb():.2f} MB "
+          f"(original {module_size_mb(model):.2f} MB)")
+
+    print("\n== 4. Simulate deployment latency on Raspberry-Pi devices ==")
+    deployment = system.deployment(fleet, raspberry_pi_4b("pi-fusion"))
+    result = simulate_inference(deployment, num_samples=1)
+    original_latency = raspberry_pi_4b("ref").compute_seconds(
+        paper_flops(config))
+    print(f"simulated per-sample latency: {result.max_latency * 1e3:.2f} ms "
+          f"(unsplit original: {original_latency * 1e3:.2f} ms, "
+          f"{original_latency / result.max_latency:.1f}x faster)")
+
+
+if __name__ == "__main__":
+    main()

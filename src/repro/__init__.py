@@ -1,0 +1,58 @@
+"""ED-ViT reproduction: partitioning Vision Transformers across edge devices.
+
+Reproduction of "Efficient Partitioning Vision Transformer on Edge Devices
+for Distributed Inference" (ICDCS 2025).  Subpackages:
+
+* :mod:`repro.nn` — from-scratch numpy autograd framework (the PyTorch
+  substitute everything else is built on);
+* :mod:`repro.models` — ViT (S/B/L + scaled), VGG and ConvSNN comparators,
+  the tower fusion MLP;
+* :mod:`repro.profiling` — Section III analytic FLOPs/memory/energy;
+* :mod:`repro.data` — synthetic stand-ins for the five benchmark datasets;
+* :mod:`repro.pruning` — the three-stage KL structured pruner (Alg. 2) and
+  channel pruning for the baselines;
+* :mod:`repro.splitting` — class partitioning, head scheduling (Alg. 1),
+  fusion training (Section IV-E);
+* :mod:`repro.assignment` — greedy placement (Alg. 3) plus an optimal
+  reference;
+* :mod:`repro.edge` — calibrated Raspberry-Pi device models, tc-capped
+  links, a discrete-event simulator, and process-based device emulation;
+* :mod:`repro.core` — the :func:`repro.core.build_edvit` orchestrator,
+  training loops, and the experiment harness regenerating every table and
+  figure;
+* :mod:`repro.baselines` — Split-CNN (NNFacet) and Split-SNN (EC-SNN)
+  comparator systems.
+"""
+
+from . import (
+    assignment,
+    baselines,
+    core,
+    data,
+    edge,
+    models,
+    nn,
+    profiling,
+    pruning,
+    splitting,
+)
+from .core import EDViTConfig, EDViTSystem, build_edvit
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EDViTConfig",
+    "EDViTSystem",
+    "assignment",
+    "baselines",
+    "build_edvit",
+    "core",
+    "data",
+    "edge",
+    "models",
+    "nn",
+    "profiling",
+    "pruning",
+    "splitting",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Sub-model-to-device assignment (Algorithm 3) and optimal reference."""
+
+from .greedy import greedy_assign, try_greedy_assign
+from .optimal import brute_force_assign, optimal_assign
+from .problem import (
+    AssignmentPlan,
+    DeviceSpec,
+    InfeasibleAssignment,
+    SubModelSpec,
+    validate_plan,
+)
+
+__all__ = [
+    "AssignmentPlan",
+    "DeviceSpec",
+    "InfeasibleAssignment",
+    "SubModelSpec",
+    "brute_force_assign",
+    "greedy_assign",
+    "optimal_assign",
+    "try_greedy_assign",
+    "validate_plan",
+]

@@ -1,0 +1,15 @@
+"""Comparator systems: Split-CNN (NNFacet) and Split-SNN (EC-SNN)."""
+
+from .split_cnn import SplitCNNConfig, SplitCNNSubModel, SplitCNNSystem, build_split_cnn
+from .split_snn import SplitSNNConfig, SplitSNNSubModel, SplitSNNSystem, build_split_snn
+
+__all__ = [
+    "SplitCNNConfig",
+    "SplitCNNSubModel",
+    "SplitCNNSystem",
+    "SplitSNNConfig",
+    "SplitSNNSubModel",
+    "SplitSNNSystem",
+    "build_split_cnn",
+    "build_split_snn",
+]

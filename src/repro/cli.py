@@ -1,0 +1,128 @@
+"""Command-line interface to the analytic experiment harness.
+
+Usage::
+
+    python -m repro.cli profile                     # Table I
+    python -m repro.cli flops [--mode paper]        # Table II
+    python -m repro.cli plan --model vit-base --budget-mb 180   # Fig. 4 b/c
+    python -m repro.cli communication               # Section V-D
+    python -m repro.cli schedule --model vit-base --devices 5 --budget-mb 180
+
+Trained experiments (accuracy panels, baselines) are intentionally not
+wrapped here — run the benches: ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.experiments import (
+    PAPER_BUDGETS_MB,
+    communication_rows,
+    latency_memory_curve,
+    plan_split,
+    table1_rows,
+    table2_rows,
+)
+from .core.metrics import format_table
+from .models.vit import STANDARD_CONFIGS
+
+_FULL_SIZE_MODELS = ("vit-small", "vit-base", "vit-large")
+
+
+def _model_config(name: str, in_channels: int = 3):
+    if name not in _FULL_SIZE_MODELS:
+        raise SystemExit(f"unknown model {name!r}; choose from {_FULL_SIZE_MODELS}")
+    return STANDARD_CONFIGS[name](num_classes=10, in_channels=in_channels)
+
+
+def cmd_profile(_args) -> None:
+    print(format_table(table1_rows()))
+
+
+def cmd_flops(args) -> None:
+    print(format_table(table2_rows(schedule_mode=args.mode)))
+
+
+def cmd_plan(args) -> None:
+    budget = args.budget_mb
+    if budget is None:
+        budget = PAPER_BUDGETS_MB[args.model]
+    rows = latency_memory_curve(_model_config(args.model, args.channels),
+                                budget_mb=budget,
+                                schedule_mode=args.mode)
+    print(format_table(rows))
+
+
+def cmd_communication(_args) -> None:
+    print(format_table(communication_rows()))
+
+
+def cmd_schedule(args) -> None:
+    budget = args.budget_mb or PAPER_BUDGETS_MB[args.model]
+    point = plan_split(_model_config(args.model, args.channels),
+                       args.devices, num_classes=10, budget_mb=budget,
+                       schedule_mode=args.mode)
+    rows = [{
+        "sub-model": f.index,
+        "hp": f.hp,
+        "kept_heads": f.config.num_heads - f.hp if args.mode == "paper"
+        else f.config.num_heads - point.hps[f.index],
+        "embed_dim": f.config.embed_dim,
+        "size_mb": f.size_bytes / 2 ** 20,
+        "gmacs": f.flops_per_sample / 1e9,
+    } for f in point.footprints]
+    print(format_table(rows))
+    print(f"total: {point.total_size_mb:.2f} MB across "
+          f"{point.num_devices} devices (budget {budget} MB)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ED-ViT reproduction — analytic harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("profile", help="Table I model profiles").set_defaults(
+        func=cmd_profile)
+
+    p_flops = sub.add_parser("flops", help="Table II sub-model FLOPs")
+    p_flops.add_argument("--mode", choices=("paper", "algorithm1"),
+                         default="paper")
+    p_flops.set_defaults(func=cmd_flops)
+
+    p_plan = sub.add_parser("plan", help="latency/memory curve (Figs. 4-6)")
+    p_plan.add_argument("--model", choices=_FULL_SIZE_MODELS,
+                        default="vit-base")
+    p_plan.add_argument("--budget-mb", type=float, default=None)
+    p_plan.add_argument("--channels", type=int, default=3)
+    p_plan.add_argument("--mode", choices=("paper", "algorithm1"),
+                        default="paper")
+    p_plan.set_defaults(func=cmd_plan)
+
+    sub.add_parser("communication",
+                   help="Section V-D feature/transfer sizes").set_defaults(
+        func=cmd_communication)
+
+    p_sched = sub.add_parser("schedule",
+                             help="per-sub-model footprints for one N")
+    p_sched.add_argument("--model", choices=_FULL_SIZE_MODELS,
+                         default="vit-base")
+    p_sched.add_argument("--devices", type=int, default=5)
+    p_sched.add_argument("--budget-mb", type=float, default=None)
+    p_sched.add_argument("--channels", type=int, default=3)
+    p_sched.add_argument("--mode", choices=("paper", "algorithm1"),
+                         default="paper")
+    p_sched.set_defaults(func=cmd_schedule)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

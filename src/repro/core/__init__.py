@@ -1,0 +1,30 @@
+"""ED-ViT core: orchestrator, training loops, metrics, experiment harness."""
+
+from .edvit import EDViTConfig, EDViTSystem, build_edvit
+from .metrics import format_mean_std, format_table, mean_std, ratio
+from .training import (
+    TrainConfig,
+    TrainResult,
+    evaluate,
+    extract_features,
+    predict_logits,
+    predict_probabilities,
+    train_classifier,
+)
+
+__all__ = [
+    "EDViTConfig",
+    "EDViTSystem",
+    "TrainConfig",
+    "TrainResult",
+    "build_edvit",
+    "evaluate",
+    "extract_features",
+    "format_mean_std",
+    "format_table",
+    "mean_std",
+    "predict_logits",
+    "predict_probabilities",
+    "ratio",
+    "train_classifier",
+]

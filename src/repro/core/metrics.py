@@ -1,0 +1,63 @@
+"""Result tables: plain-text rendering of experiment rows.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep that presentation consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(rows: Sequence[dict[str, Any]],
+                 columns: Sequence[str] | None = None,
+                 floatfmt: str = ".4g") -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    else:
+        columns = list(columns)
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(c.ljust(w) for c, w in zip(r, widths))
+                     for r in rendered)
+    return f"{header}\n{rule}\n{body}"
+
+
+def mean_std(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and (population) standard deviation of a metric over trials."""
+    if not values:
+        raise ValueError("need at least one value")
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return mean, var ** 0.5
+
+
+def format_mean_std(values: Sequence[float], scale: float = 100.0,
+                    digits: int = 2) -> str:
+    """Render trials as the paper's ``mean±std`` percentage format."""
+    mean, std = mean_std(values)
+    return f"{mean * scale:.{digits}f}±{std * scale:.{digits}f}"
+
+
+def ratio(reference: float, value: float) -> float:
+    """Reduction factor "X times" as the paper reports (reference / value)."""
+    if value == 0:
+        raise ZeroDivisionError("cannot compute a reduction over zero")
+    return reference / value

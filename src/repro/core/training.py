@@ -1,0 +1,121 @@
+"""Training and evaluation loops shared by every model in the reproduction.
+
+The paper trains with Adam (initial LR 1e-4, decaying) — we default to the
+same recipe, scaled to the synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from .. import nn
+from ..data.loaders import DataLoader
+
+
+@dataclasses.dataclass
+class TrainConfig:
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 1e-3
+    lr_decay: float = 0.95
+    weight_decay: float = 0.0
+    grad_clip: float | None = 5.0
+    label_smoothing: float = 0.0
+    verbose: bool = False
+    seed: int = 0
+
+
+@dataclasses.dataclass
+class TrainResult:
+    train_losses: list[float]
+    train_accuracies: list[float]
+    wall_seconds: float
+
+    @property
+    def final_loss(self) -> float:
+        return self.train_losses[-1]
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.train_accuracies[-1]
+
+
+def train_classifier(model: nn.Module, x: np.ndarray, y: np.ndarray,
+                     config: TrainConfig | None = None) -> TrainResult:
+    """Train ``model`` to classify (x, y); returns per-epoch curves."""
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    loader = DataLoader(x, y, batch_size=config.batch_size, shuffle=True, rng=rng)
+    optimizer = nn.Adam(model.parameters(), lr=config.lr,
+                        weight_decay=config.weight_decay)
+    schedule = nn.DecayingLR(optimizer, decay=config.lr_decay)
+
+    model.train()
+    losses: list[float] = []
+    accuracies: list[float] = []
+    start = time.perf_counter()
+    for epoch in range(config.epochs):
+        epoch_loss = 0.0
+        correct = 0
+        seen = 0
+        for xb, yb in loader:
+            logits = model(nn.Tensor(xb))
+            loss = nn.cross_entropy(logits, yb,
+                                    label_smoothing=config.label_smoothing)
+            optimizer.zero_grad()
+            loss.backward()
+            if config.grad_clip is not None:
+                nn.clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            batch = len(yb)
+            epoch_loss += loss.item() * batch
+            correct += int((logits.data.argmax(axis=-1) == yb).sum())
+            seen += batch
+        schedule.step()
+        losses.append(epoch_loss / max(1, seen))
+        accuracies.append(correct / max(1, seen))
+        if config.verbose:
+            print(f"epoch {epoch + 1}/{config.epochs} "
+                  f"loss={losses[-1]:.4f} acc={accuracies[-1]:.3f}")
+    model.eval()
+    return TrainResult(losses, accuracies, time.perf_counter() - start)
+
+
+def evaluate(model: nn.Module, x: np.ndarray, y: np.ndarray,
+             batch_size: int = 64) -> float:
+    """Top-1 test accuracy."""
+    return float((predict_logits(model, x, batch_size).argmax(axis=-1) == y).mean())
+
+
+def predict_logits(model: nn.Module, x: np.ndarray,
+                   batch_size: int = 64) -> np.ndarray:
+    """Forward the whole array in eval mode without building a graph."""
+    model.eval()
+    outputs = []
+    with nn.no_grad():
+        for start in range(0, len(x), batch_size):
+            logits = model(nn.Tensor(x[start:start + batch_size]))
+            outputs.append(logits.data.copy())
+    return np.concatenate(outputs, axis=0)
+
+
+def predict_probabilities(model: nn.Module, x: np.ndarray,
+                          batch_size: int = 64) -> np.ndarray:
+    logits = predict_logits(model, x, batch_size)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def extract_features(model, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    """Run ``model.forward_features`` in eval mode (sub-model feature maps)."""
+    model.eval()
+    outputs = []
+    with nn.no_grad():
+        for start in range(0, len(x), batch_size):
+            feats = model.forward_features(nn.Tensor(x[start:start + batch_size]))
+            outputs.append(feats.data.copy())
+    return np.concatenate(outputs, axis=0)

@@ -1,0 +1,70 @@
+"""Edge-device substrate: calibrated device models, network models, a
+discrete-event simulator, and process-based device emulation."""
+
+from .device import (
+    DeviceModel,
+    PI4B_ENERGY_FLOPS,
+    PI4B_MACS_PER_SECOND,
+    PI4B_MEMORY_BYTES,
+    heterogeneous_fleet,
+    make_fleet,
+    raspberry_pi_4b,
+)
+from .network import (
+    FLOAT32_BYTES,
+    GIGABIT_BPS,
+    LinkModel,
+    RAW_IMAGE_BYTES,
+    StarTopology,
+    TC_CAP_BPS,
+    communication_reduction,
+    feature_bytes,
+    gigabit_link,
+    tc_capped_link,
+    uniform_star,
+)
+from .runtime import EdgeCluster, InferenceTiming, WorkerSpec
+from .sim_core import Barrier, FifoResource, Simulator
+from .simulator import (
+    DeploymentSpec,
+    SimulationResult,
+    SubModelProfile,
+    energy_report,
+    simulate_inference,
+    single_device_latency,
+    utilization_report,
+)
+
+__all__ = [
+    "Barrier",
+    "DeploymentSpec",
+    "DeviceModel",
+    "EdgeCluster",
+    "FLOAT32_BYTES",
+    "FifoResource",
+    "GIGABIT_BPS",
+    "InferenceTiming",
+    "LinkModel",
+    "PI4B_ENERGY_FLOPS",
+    "PI4B_MACS_PER_SECOND",
+    "PI4B_MEMORY_BYTES",
+    "RAW_IMAGE_BYTES",
+    "SimulationResult",
+    "Simulator",
+    "StarTopology",
+    "SubModelProfile",
+    "TC_CAP_BPS",
+    "WorkerSpec",
+    "communication_reduction",
+    "energy_report",
+    "feature_bytes",
+    "gigabit_link",
+    "heterogeneous_fleet",
+    "make_fleet",
+    "raspberry_pi_4b",
+    "simulate_inference",
+    "single_device_latency",
+    "tc_capped_link",
+    "uniform_star",
+    "utilization_report",
+]

@@ -1,0 +1,194 @@
+"""Process-based edge-device emulation.
+
+Where :mod:`repro.edge.simulator` predicts timing analytically, this module
+actually *runs* the deployment: every emulated device is an OS process
+hosting its sub-model; inputs and features cross real process boundaries
+(serialized numpy arrays over pipes); link bandwidth is emulated by
+sleeping for the tc-equivalent transfer time.  This is the "emulate devices
+as processes" substitution for the paper's physical Raspberry Pi testbed.
+
+A ``time_scale`` knob shrinks emulated sleeps so tests stay fast while the
+measured proportions remain meaningful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import time
+
+import numpy as np
+
+from .. import nn
+from ..models.vit import ViTConfig, VisionTransformer
+from .device import DeviceModel
+from .network import LinkModel, tc_capped_link
+from .simulator import feature_bytes
+
+
+@dataclasses.dataclass
+class WorkerSpec:
+    """Everything needed to reconstruct one sub-model inside a worker."""
+
+    worker_id: str
+    model_kind: str                    # currently "vit"
+    model_config: dict
+    state_blob: bytes
+    flops_per_sample: float
+    device: DeviceModel
+    link: LinkModel
+
+    @staticmethod
+    def from_vit(worker_id: str, model: VisionTransformer,
+                 flops_per_sample: float, device: DeviceModel,
+                 link: LinkModel | None = None) -> "WorkerSpec":
+        return WorkerSpec(
+            worker_id=worker_id,
+            model_kind="vit",
+            model_config=model.config.to_dict(),
+            state_blob=nn.state_dict_to_bytes(model.state_dict()),
+            flops_per_sample=flops_per_sample,
+            device=device,
+            link=link or tc_capped_link(),
+        )
+
+
+def _build_model(kind: str, config: dict) -> nn.Module:
+    if kind == "vit":
+        return VisionTransformer(ViTConfig.from_dict(config))
+    raise KeyError(f"unknown model kind {kind!r}")
+
+
+def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
+    """Entry point of an emulated device process."""
+    model = _build_model(spec.model_kind, spec.model_config)
+    model.load_state_dict(nn.state_dict_from_bytes(spec.state_blob))
+    model.eval()
+    conn.send(("ready", spec.worker_id))
+    while True:
+        message = conn.recv()
+        command = message[0]
+        if command == "stop":
+            conn.send(("stopped", spec.worker_id))
+            return
+        if command != "infer":
+            conn.send(("error", f"unknown command {command!r}"))
+            continue
+        x = message[1]
+        wall_start = time.perf_counter()
+        with nn.no_grad():
+            features = model.forward_features(nn.Tensor(x)).data.copy()
+        wall_compute = time.perf_counter() - wall_start
+
+        # Emulate the Pi-4B compute time and the tc-capped feature transfer.
+        emulated_compute = spec.device.compute_seconds(
+            spec.flops_per_sample * len(x))
+        payload = feature_bytes(features.shape[-1]) * len(x)
+        emulated_transfer = spec.link.transfer_seconds(payload)
+        sleep_for = max(0.0, (emulated_compute + emulated_transfer) * time_scale
+                        - wall_compute)
+        if sleep_for > 0:
+            time.sleep(sleep_for)
+        conn.send(("features", features,
+                   {"emulated_compute_s": emulated_compute,
+                    "emulated_transfer_s": emulated_transfer,
+                    "host_compute_s": wall_compute}))
+
+
+@dataclasses.dataclass
+class InferenceTiming:
+    """Timing report for one ``EdgeCluster.infer`` call."""
+
+    wall_seconds: float
+    per_worker: dict[str, dict[str, float]]
+
+    @property
+    def emulated_critical_path(self) -> float:
+        """Max over workers of emulated compute + transfer (the DES estimate)."""
+        return max(w["emulated_compute_s"] + w["emulated_transfer_s"]
+                   for w in self.per_worker.values())
+
+
+class EdgeCluster:
+    """A fleet of emulated devices plus a local fusion stage."""
+
+    def __init__(self, workers: list[WorkerSpec], time_scale: float = 0.0):
+        if not workers:
+            raise ValueError("need at least one worker")
+        ids = [w.worker_id for w in workers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("worker ids must be unique")
+        self._specs = workers
+        self._time_scale = time_scale
+        self._context = mp.get_context("spawn")
+        self._processes: list = []
+        self._conns: dict[str, object] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("cluster already started")
+        for spec in self._specs:
+            parent, child = self._context.Pipe()
+            process = self._context.Process(
+                target=_worker_main, args=(spec, child, self._time_scale),
+                daemon=True)
+            process.start()
+            self._processes.append(process)
+            self._conns[spec.worker_id] = parent
+        for spec in self._specs:
+            status, worker_id = self._conns[spec.worker_id].recv()
+            if status != "ready":
+                raise RuntimeError(f"worker {worker_id} failed to start")
+        self._started = True
+
+    def shutdown(self) -> None:
+        if not self._started:
+            return
+        for conn in self._conns.values():
+            conn.send(("stop",))
+        for conn in self._conns.values():
+            conn.recv()
+        for process in self._processes:
+            process.join(timeout=10)
+        self._processes.clear()
+        self._conns.clear()
+        self._started = False
+
+    def __enter__(self) -> "EdgeCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def infer_features(self, x: np.ndarray) -> tuple[dict[str, np.ndarray],
+                                                     InferenceTiming]:
+        """Scatter ``x`` to all workers; gather per-worker feature arrays."""
+        if not self._started:
+            raise RuntimeError("cluster not started; use start() or a with-block")
+        start = time.perf_counter()
+        for spec in self._specs:
+            self._conns[spec.worker_id].send(("infer", x))
+        features: dict[str, np.ndarray] = {}
+        per_worker: dict[str, dict[str, float]] = {}
+        for spec in self._specs:
+            reply = self._conns[spec.worker_id].recv()
+            if reply[0] != "features":
+                raise RuntimeError(f"worker {spec.worker_id} error: {reply[1]}")
+            features[spec.worker_id] = reply[1]
+            per_worker[spec.worker_id] = reply[2]
+        timing = InferenceTiming(wall_seconds=time.perf_counter() - start,
+                                 per_worker=per_worker)
+        return features, timing
+
+    def infer_fused(self, x: np.ndarray, fusion: nn.Module) -> tuple[np.ndarray,
+                                                                     InferenceTiming]:
+        """Full pipeline: scatter -> gather features -> fuse -> predictions."""
+        features, timing = self.infer_features(x)
+        ordered = [features[s.worker_id] for s in self._specs]
+        with nn.no_grad():
+            logits = fusion(nn.Tensor(np.concatenate(ordered, axis=-1)))
+        return logits.data.argmax(axis=-1), timing

@@ -1,0 +1,93 @@
+"""A minimal discrete-event simulation kernel.
+
+Provides an event queue with deterministic tie-breaking and FIFO resources
+with deterministic service times — enough to model edge devices (serial
+compute), links (serial transfer) and fusion barriers without pulling in a
+full simulation framework.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable
+
+
+class Simulator:
+    """Event loop: schedule callbacks at absolute times, run to quiescence."""
+
+    def __init__(self):
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def run(self, until: float | None = None) -> None:
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            callback()
+
+
+@dataclasses.dataclass
+class FifoResource:
+    """A serially-shared resource (CPU, link): requests queue in FIFO order.
+
+    ``acquire`` returns the time at which the request's service *finishes*;
+    the caller schedules its completion callback at that time.  Utilization
+    statistics are tracked for reporting.
+    """
+
+    sim: Simulator
+    name: str
+    _free_at: float = 0.0
+    busy_seconds: float = 0.0
+    served: int = 0
+
+    def acquire(self, service_seconds: float) -> float:
+        if service_seconds < 0:
+            raise ValueError("service time must be non-negative")
+        start = max(self.sim.now, self._free_at)
+        finish = start + service_seconds
+        self._free_at = finish
+        self.busy_seconds += service_seconds
+        self.served += 1
+        return finish
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / horizon)
+
+
+class Barrier:
+    """Fires a callback once ``expected`` arrivals have occurred."""
+
+    def __init__(self, expected: int, callback: Callable[[], None]):
+        if expected < 1:
+            raise ValueError("expected must be >= 1")
+        self.expected = expected
+        self.arrived = 0
+        self.callback = callback
+        self.fired = False
+
+    def arrive(self) -> None:
+        if self.fired:
+            raise RuntimeError("barrier already fired")
+        self.arrived += 1
+        if self.arrived == self.expected:
+            self.fired = True
+            self.callback()

@@ -1,0 +1,205 @@
+"""Discrete-event simulation of ED-ViT distributed inference.
+
+Models the paper's deployment (Fig. 3): N worker devices each hold one or
+more sub-models; for every input sample each worker runs its sub-models
+and ships the CLS features through its (tc-capped) link to the fusion
+device, which concatenates them and runs the fusion MLP.  Per-sample
+latency is the scatter→compute→transfer→fuse critical path; streams of
+samples pipeline naturally through the FIFO resources.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from .device import DeviceModel
+from .network import StarTopology, feature_bytes, uniform_star
+from .sim_core import Barrier, FifoResource, Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class SubModelProfile:
+    """What the simulator needs to know about one deployed sub-model."""
+
+    model_id: str
+    flops_per_sample: float
+    feature_dim: int
+
+    @property
+    def feature_bytes(self) -> int:
+        return feature_bytes(self.feature_dim)
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentSpec:
+    """A complete deployment: devices, placement, fusion cost, topology."""
+
+    devices: list[DeviceModel]
+    placement: dict[str, str]              # model_id -> device_id
+    profiles: dict[str, SubModelProfile]   # model_id -> profile
+    fusion_device: DeviceModel
+    fusion_flops: float
+    topology: StarTopology | None = None
+    input_bytes: int = 0                   # >0 to also ship inputs to workers
+
+    def resolved_topology(self) -> StarTopology:
+        if self.topology is not None:
+            return self.topology
+        ids = [d.device_id for d in self.devices] + [self.fusion_device.device_id]
+        return uniform_star(ids)
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    latencies: list[float]                 # per-sample end-to-end seconds
+    makespan: float
+    device_busy: dict[str, float]
+    link_busy: dict[str, float]
+
+    @property
+    def mean_latency(self) -> float:
+        return statistics.fmean(self.latencies)
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.latencies)
+
+    @property
+    def throughput(self) -> float:
+        """Completed samples per second over the whole run."""
+        return len(self.latencies) / self.makespan if self.makespan > 0 else 0.0
+
+
+def simulate_inference(spec: DeploymentSpec, num_samples: int = 1,
+                       arrival_interval: float = 0.0,
+                       failed_devices: set[str] | frozenset[str] | None = None,
+                       ) -> SimulationResult:
+    """Simulate ``num_samples`` inferences through the deployment.
+
+    ``arrival_interval == 0`` issues all samples at t=0 (batch mode);
+    a positive interval issues an open stream, exercising pipelining.
+
+    ``failed_devices`` marks crashed workers: their sub-models never
+    deliver features and the fusion barrier proceeds without them (the
+    fusion device zero-fills the missing slots — see
+    :func:`repro.splitting.fusion.fused_predict` with ``failed``).
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    failed = set(failed_devices or ())
+    known = {d.device_id for d in spec.devices}
+    if not failed <= known:
+        raise KeyError(f"failed devices not in fleet: {sorted(failed - known)}")
+    sim = Simulator()
+    topology = spec.resolved_topology()
+
+    compute: dict[str, FifoResource] = {
+        d.device_id: FifoResource(sim, f"cpu:{d.device_id}") for d in spec.devices}
+    fusion_cpu = FifoResource(sim, f"cpu:{spec.fusion_device.device_id}")
+    uplinks: dict[str, FifoResource] = {
+        d.device_id: FifoResource(sim, f"link:{d.device_id}") for d in spec.devices}
+
+    device_by_id = {d.device_id: d for d in spec.devices}
+    models_on: dict[str, list[SubModelProfile]] = {d.device_id: [] for d in spec.devices}
+    for model_id, device_id in spec.placement.items():
+        if device_id not in models_on:
+            raise KeyError(f"placement targets unknown device {device_id!r}")
+        models_on[device_id].append(spec.profiles[model_id])
+
+    latencies: dict[int, float] = {}
+    arrivals: dict[int, float] = {}
+
+    def start_sample(k: int) -> None:
+        arrivals[k] = sim.now
+
+        def finish_fusion() -> None:
+            done = fusion_cpu.acquire(
+                spec.fusion_device.compute_seconds(spec.fusion_flops))
+            sim.schedule_at(done, lambda: latencies.__setitem__(
+                k, sim.now - arrivals[k]))
+
+        live = {d: profiles for d, profiles in models_on.items()
+                if d not in failed}
+        expected = sum(len(p) for p in live.values())
+        if expected == 0:
+            finish_fusion()
+            return
+        barrier = Barrier(expected=expected, callback=finish_fusion)
+
+        for device_id, profiles in live.items():
+            device = device_by_id[device_id]
+            for profile in profiles:
+                _run_submodel(sim, device, profile, compute[device_id],
+                              uplinks[device_id], topology, spec.input_bytes,
+                              barrier)
+
+    for k in range(num_samples):
+        sim.schedule_at(k * arrival_interval, lambda k=k: start_sample(k))
+    sim.run()
+
+    if len(latencies) != num_samples:
+        raise RuntimeError("simulation ended with unfinished samples")
+    ordered = [latencies[k] for k in range(num_samples)]
+    makespan = max(arrivals[k] + latencies[k] for k in range(num_samples))
+    return SimulationResult(
+        latencies=ordered,
+        makespan=makespan,
+        device_busy={d: r.busy_seconds for d, r in compute.items()}
+        | {spec.fusion_device.device_id: fusion_cpu.busy_seconds},
+        link_busy={d: r.busy_seconds for d, r in uplinks.items()},
+    )
+
+
+def _run_submodel(sim: Simulator, device: DeviceModel, profile: SubModelProfile,
+                  cpu: FifoResource, uplink: FifoResource,
+                  topology: StarTopology, input_bytes: int,
+                  barrier: Barrier) -> None:
+    """Chain: (optional input receive) -> compute -> feature transfer -> barrier."""
+
+    def after_input() -> None:
+        compute_done = cpu.acquire(device.compute_seconds(profile.flops_per_sample))
+
+        def after_compute() -> None:
+            transfer = topology.transfer_seconds(device.device_id,
+                                                 profile.feature_bytes)
+            send_done = uplink.acquire(transfer)
+            sim.schedule_at(send_done, barrier.arrive)
+
+        sim.schedule_at(compute_done, after_compute)
+
+    if input_bytes > 0:
+        recv = uplink.acquire(topology.transfer_seconds(device.device_id,
+                                                        input_bytes))
+        sim.schedule_at(recv, after_input)
+    else:
+        after_input()
+
+
+def single_device_latency(device: DeviceModel, flops: float) -> float:
+    """Latency of running one monolithic model on one device (the paper's
+    dotted baseline lines in Figs. 4–5)."""
+    return device.compute_seconds(flops)
+
+
+def utilization_report(result: SimulationResult) -> dict[str, float]:
+    """Per-device compute utilization over the run's makespan."""
+    if result.makespan <= 0:
+        return {d: 0.0 for d in result.device_busy}
+    return {d: min(1.0, busy / result.makespan)
+            for d, busy in result.device_busy.items()}
+
+
+def energy_report(spec: DeploymentSpec,
+                  result: SimulationResult) -> dict[str, float]:
+    """Per-device energy in joules, from executed MACs (Section III's
+    energy-proportional-to-FLOPs model)."""
+    from ..profiling.energy import JOULES_PER_MAC
+
+    devices = {d.device_id: d for d in spec.devices}
+    devices[spec.fusion_device.device_id] = spec.fusion_device
+    report = {}
+    for device_id, busy in result.device_busy.items():
+        macs = busy * devices[device_id].macs_per_second
+        report[device_id] = macs * JOULES_PER_MAC
+    return report

@@ -1,0 +1,109 @@
+"""Attention analysis tools for Vision Transformers.
+
+Used to *explain* what the pruner keeps: per-head attention entropy and
+CLS-attention maps show which heads and tokens carry information, and
+attention rollout (Abnar & Zuidema, 2020) propagates attention through
+residual connections to attribute the CLS decision to input patches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from .vit import VisionTransformer
+
+
+def collect_attention_maps(model: VisionTransformer,
+                           x: Tensor | np.ndarray) -> list[np.ndarray]:
+    """Per-block softmax attention maps, each (B, H, P, P)."""
+    x = x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=np.float32))
+    maps: list[np.ndarray] = []
+    with nn.no_grad():
+        tokens = model._embed(x)
+        for block in model.blocks:
+            maps.append(block.attn.attention_weights(block.norm1(tokens)))
+            tokens = block(tokens)
+    return maps
+
+
+def cls_attention_map(model: VisionTransformer, x: Tensor | np.ndarray,
+                      block_index: int = -1) -> np.ndarray:
+    """CLS->patch attention of one block, head-averaged; shape (B, patches).
+
+    This is the signal the token pruner uses to rank tokens.
+    """
+    maps = collect_attention_maps(model, x)
+    attn = maps[block_index]
+    return attn.mean(axis=1)[:, 0, 1:]
+
+
+def attention_entropy(model: VisionTransformer,
+                      x: Tensor | np.ndarray) -> np.ndarray:
+    """Mean attention entropy per (block, head); shape (depth, heads).
+
+    Low-entropy heads focus on few tokens (often the informative ones);
+    near-uniform heads are frequent pruning victims.
+    """
+    maps = collect_attention_maps(model, x)
+    depth = len(maps)
+    heads = maps[0].shape[1]
+    out = np.empty((depth, heads), dtype=np.float64)
+    for b, attn in enumerate(maps):
+        probs = np.clip(attn, 1e-12, None)
+        entropy = -(probs * np.log(probs)).sum(axis=-1)   # (B, H, P)
+        out[b] = entropy.mean(axis=(0, 2))
+    return out
+
+
+def attention_rollout(model: VisionTransformer, x: Tensor | np.ndarray,
+                      head_fusion: str = "mean") -> np.ndarray:
+    """Attention rollout: input-patch attribution of the CLS token.
+
+    Multiplies head-fused attention matrices (each mixed with the identity
+    to model the residual connection) across blocks; returns the CLS row
+    over patches, normalized per sample; shape (B, patches).
+    """
+    maps = collect_attention_maps(model, x)
+    batch, _, p, _ = maps[0].shape
+    rollout = np.tile(np.eye(p, dtype=np.float64), (batch, 1, 1))
+    for attn in maps:
+        if head_fusion == "mean":
+            fused = attn.mean(axis=1)
+        elif head_fusion == "max":
+            fused = attn.max(axis=1)
+        else:
+            raise ValueError(f"unknown head_fusion {head_fusion!r}")
+        fused = 0.5 * fused + 0.5 * np.eye(p)
+        fused = fused / fused.sum(axis=-1, keepdims=True)
+        rollout = fused @ rollout
+    cls_row = rollout[:, 0, 1:]
+    total = cls_row.sum(axis=-1, keepdims=True)
+    return cls_row / np.where(total > 0, total, 1.0)
+
+
+def head_importance_profile(model: VisionTransformer,
+                            x: Tensor | np.ndarray) -> np.ndarray:
+    """Mean |contribution| of each head's value output; shape (depth, heads).
+
+    A cheap magnitude-style head ranking, complementary to the exact KL
+    scoring in :mod:`repro.pruning.importance`.
+    """
+    x = x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=np.float32))
+    cfg = model.config
+    out = np.empty((cfg.depth, cfg.num_heads), dtype=np.float64)
+    with nn.no_grad():
+        tokens = model._embed(x)
+        for b, block in enumerate(model.blocks):
+            normed = block.norm1(tokens)
+            attn = block.attn
+            bsz, p, _ = normed.shape
+            qkv = attn.qkv(normed).reshape(bsz, p, 3, attn.num_heads,
+                                           attn.head_dim)
+            v = qkv.transpose(2, 0, 3, 1, 4)[2]           # (B, H, P, dh)
+            weights = attn.attention_weights(normed)       # (B, H, P, P)
+            per_head = Tensor(weights).matmul(v)           # (B, H, P, dh)
+            out[b] = np.abs(per_head.data).mean(axis=(0, 2, 3))
+            tokens = block(tokens)
+    return out

@@ -1,0 +1,83 @@
+"""repro.nn — a from-scratch numpy autograd framework (PyTorch substitute).
+
+Public surface::
+
+    from repro import nn
+    x = nn.Tensor([[1.0, 2.0]], requires_grad=True)
+    layer = nn.Linear(2, 3)
+    loss = nn.cross_entropy(layer(x), np.array([1]))
+    loss.backward()
+"""
+
+from . import init, ops
+from .losses import accuracy, cross_entropy, kl_divergence, mse
+from .modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from .optim import Adam, DecayingLR, Optimizer, SGD, clip_grad_norm
+from .serialization import (
+    load_checkpoint,
+    save_checkpoint,
+    state_dict_from_bytes,
+    state_dict_num_bytes,
+    state_dict_to_bytes,
+)
+from .tensor import Tensor, as_tensor, concat, no_grad, ones, stack, where, zeros
+
+__all__ = [
+    "Adam",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "DecayingLR",
+    "Dropout",
+    "Flatten",
+    "GELU",
+    "Identity",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "ModuleList",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "Tensor",
+    "accuracy",
+    "as_tensor",
+    "clip_grad_norm",
+    "concat",
+    "cross_entropy",
+    "init",
+    "kl_divergence",
+    "load_checkpoint",
+    "mse",
+    "no_grad",
+    "ones",
+    "ops",
+    "save_checkpoint",
+    "stack",
+    "state_dict_from_bytes",
+    "state_dict_num_bytes",
+    "state_dict_to_bytes",
+    "where",
+    "zeros",
+]

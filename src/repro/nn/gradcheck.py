@@ -1,0 +1,52 @@
+"""Numerical gradient checking for autograd correctness tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray,
+                       eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of a scalar function of ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(x)
+        flat[i] = orig - eps
+        minus = fn(x)
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(fn: Callable[[Tensor], Tensor], x: np.ndarray,
+                   eps: float = 1e-4, rtol: float = 1e-2,
+                   atol: float = 1e-4) -> tuple[bool, float]:
+    """Compare autograd and numerical gradients of ``fn`` w.r.t. ``x``.
+
+    ``fn`` maps a Tensor to a scalar Tensor.  Uses float64 throughout to
+    keep the finite-difference noise below the tolerance.  Returns
+    (ok, max_abs_error).
+    """
+    x64 = np.asarray(x, dtype=np.float64)
+    tensor = Tensor(x64.copy(), requires_grad=True, dtype=np.float64)
+    out = fn(tensor)
+    if out.size != 1:
+        raise ValueError("fn must return a scalar")
+    out.backward()
+    analytic = tensor.grad.astype(np.float64)
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(fn(Tensor(arr.copy(), dtype=np.float64)).data)
+
+    numeric = numerical_gradient(scalar_fn, x64.copy(), eps)
+    err = np.abs(analytic - numeric)
+    tol = atol + rtol * np.abs(numeric)
+    return bool((err <= tol).all()), float(err.max())

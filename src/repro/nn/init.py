@@ -1,0 +1,49 @@
+"""Parameter initializers and the package-wide RNG convention.
+
+All random state in the reproduction flows through explicit
+``numpy.random.Generator`` objects so experiments are reproducible; the
+module-level default generator exists only as a convenience for ad-hoc use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_SEED = 0x5EED
+_default_rng = np.random.default_rng(_DEFAULT_SEED)
+
+
+def default_rng() -> np.random.Generator:
+    return _default_rng
+
+
+def seed_all(seed: int) -> np.random.Generator:
+    """Reset the default generator; returns it for chaining."""
+    global _default_rng
+    _default_rng = np.random.default_rng(seed)
+    return _default_rng
+
+
+def kaiming_uniform(rng: np.random.Generator, shape: tuple[int, ...],
+                    fan_in: int | None = None) -> np.ndarray:
+    """He-uniform init matching ``torch.nn.Linear``'s default (a=sqrt(5))."""
+    if fan_in is None:
+        fan_in = shape[1] if len(shape) >= 2 else shape[0]
+    gain = np.sqrt(2.0 / (1.0 + 5.0))  # leaky relu gain with a = sqrt(5)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    fan_in = shape[1] if len(shape) >= 2 else shape[0]
+    fan_out = shape[0]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def trunc_normal(rng: np.random.Generator, shape: tuple[int, ...],
+                 std: float = 0.02, bound: float = 2.0) -> np.ndarray:
+    """Truncated normal used by ViT for token/positional embeddings."""
+    out = rng.normal(0.0, std, size=shape)
+    np.clip(out, -bound * std, bound * std, out=out)
+    return out.astype(np.float32)

@@ -1,0 +1,347 @@
+"""Module system: composable layers with named parameters and state dicts.
+
+Mirrors the ``torch.nn`` surface closely enough that the rest of the
+reproduction (ViT, VGG, SNN, pruning) reads like the PyTorch code the paper
+authors would have written.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from . import init, ops
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable leaf of a module."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network layers."""
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._buffers: dict[str, np.ndarray] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration through attribute assignment
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix + name + ".")
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Train / eval and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        missing = []
+        for name, param in params.items():
+            if name not in state:
+                missing.append(name)
+                continue
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: checkpoint {value.shape} vs model {param.shape}")
+            param.data = value.copy()
+        for name, buf in buffers.items():
+            if name in state:
+                np.copyto(buf, np.asarray(state[name], dtype=buf.dtype))
+        if strict:
+            if missing:
+                raise KeyError(f"missing keys in state dict: {missing}")
+            extra = set(state) - set(params) - set(buffers)
+            if extra:
+                raise KeyError(f"unexpected keys in state dict: {sorted(extra)}")
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Identity(Module):
+    """Pass-through layer (useful as a placeholder in rebuilt models)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Affine layer storing weight as (out_features, in_features)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or init.default_rng()
+        self.weight = Parameter(init.kaiming_uniform(rng, (out_features, in_features)))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_features).astype(np.float32))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.linear(x, self.weight, self.bias)
+
+    def __repr__(self):
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with affine params."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape, dtype=np.float32))
+        self.bias = Parameter(np.zeros(normalized_shape, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.layer_norm(x, self.weight, self.bias, self.eps)
+
+    def __repr__(self):
+        return f"LayerNorm({self.normalized_shape})"
+
+
+class Conv2d(Module):
+    """2-D convolution over (N, C, H, W) inputs, lowered to im2col matmuls."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = rng or init.default_rng()
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform(rng, (out_channels, in_channels, kernel_size, kernel_size),
+                                 fan_in=fan_in))
+        if bias:
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_channels).astype(np.float32))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+    def __repr__(self):
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding})")
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over (N, C, H, W) with running statistics."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.batch_norm_2d(x, self.weight, self.bias,
+                                 self.running_mean, self.running_var,
+                                 self.training, self.momentum, self.eps)
+
+
+class MaxPool2d(Module):
+    """Max pooling with square kernels."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    """Average pooling with square kernels."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.p = p
+        self._rng = rng or init.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.p, self.training, self._rng)
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    """Gaussian Error Linear Unit (tanh approximation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.gelu(x)
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Flatten(Module):
+    """Flatten trailing dimensions from ``start_dim`` onward."""
+
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.flatten(x, self.start_dim)
+
+
+class Sequential(Module):
+    """Run layers in order; indexable and iterable like a list."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layer_list = []
+        for i, layer in enumerate(layers):
+            setattr(self, str(i), layer)
+            self._layer_list.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layer_list:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._layer_list)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._layer_list[idx]
+
+    def __len__(self) -> int:
+        return len(self._layer_list)
+
+
+class ModuleList(Module):
+    """A list of sub-modules whose parameters register with the parent."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        setattr(self, str(len(self._items)), module)
+        self._items.append(module)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]
+
+    def __len__(self) -> int:
+        return len(self._items)

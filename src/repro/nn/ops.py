@@ -1,0 +1,281 @@
+"""Neural-network functional operations built on :mod:`repro.nn.tensor`.
+
+Each function takes and returns :class:`~repro.nn.tensor.Tensor` objects and
+registers an analytic backward rule.  Convolution and pooling use an
+im2col/col2im lowering so the heavy lifting stays inside numpy matmuls.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .tensor import Tensor
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+# ----------------------------------------------------------------------
+# Activations
+# ----------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation, as used by ViT)."""
+    data = x.data
+    inner = _SQRT_2_OVER_PI * (data + 0.044715 * data ** 3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * data * (1.0 + tanh_inner)
+
+    def backward(grad):
+        sech2 = 1.0 - tanh_inner ** 2
+        d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * data ** 2)
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * data * sech2 * d_inner
+        return [(x, grad * local)]
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        # dL/dx = s * (g - sum(g * s))
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return [(x, out_data * (grad - dot))]
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+    soft = np.exp(out_data)
+
+    def backward(grad):
+        return [(x, grad - soft * grad.sum(axis=axis, keepdims=True))]
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    out_data = x.data * mask
+
+    def backward(grad):
+        return [(x, grad * mask)]
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last dimension with affine transform."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mu
+    var = (centered ** 2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normed = centered * inv_std
+    out_data = normed * weight.data + bias.data
+    d = x.shape[-1]
+
+    def backward(grad):
+        g_normed = grad * weight.data
+        g_var = (g_normed * centered * -0.5 * inv_std ** 3).sum(axis=-1, keepdims=True)
+        g_mu = (-g_normed * inv_std).sum(axis=-1, keepdims=True) \
+            + g_var * (-2.0 * centered.mean(axis=-1, keepdims=True))
+        gx = g_normed * inv_std + g_var * 2.0 * centered / d + g_mu / d
+        reduce_axes = tuple(range(grad.ndim - 1))
+        gw = (grad * normed).sum(axis=reduce_axes)
+        gb = grad.sum(axis=reduce_axes)
+        return [(x, gx), (weight, gw), (bias, gb)]
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def batch_norm_2d(x: Tensor, weight: Tensor, bias: Tensor,
+                  running_mean: np.ndarray, running_var: np.ndarray,
+                  training: bool, momentum: float = 0.1, eps: float = 1e-5) -> Tensor:
+    """2-D batch norm over (N, C, H, W); mutates running statistics in-place."""
+    if training:
+        mu = x.data.mean(axis=(0, 2, 3), keepdims=True)
+        var = x.data.var(axis=(0, 2, 3), keepdims=True)
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mu.reshape(-1)
+        running_var *= (1.0 - momentum)
+        running_var += momentum * var.reshape(-1)
+    else:
+        mu = running_mean.reshape(1, -1, 1, 1)
+        var = running_var.reshape(1, -1, 1, 1)
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    centered = x.data - mu
+    normed = centered * inv_std
+    w = weight.data.reshape(1, -1, 1, 1)
+    b = bias.data.reshape(1, -1, 1, 1)
+    out_data = normed * w + b
+    count = x.data.size // x.shape[1]
+
+    def backward(grad):
+        g_normed = grad * w
+        if training:
+            g_var = (g_normed * centered * -0.5 * inv_std ** 3).sum(axis=(0, 2, 3), keepdims=True)
+            g_mu = (-g_normed * inv_std).sum(axis=(0, 2, 3), keepdims=True) \
+                + g_var * (-2.0 * centered.mean(axis=(0, 2, 3), keepdims=True))
+            gx = g_normed * inv_std + g_var * 2.0 * centered / count + g_mu / count
+        else:
+            gx = g_normed * inv_std
+        gw = (grad * normed).sum(axis=(0, 2, 3))
+        gb = grad.sum(axis=(0, 2, 3))
+        return [(x, gx), (weight, gw), (bias, gb)]
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+# ----------------------------------------------------------------------
+# Convolution via im2col
+# ----------------------------------------------------------------------
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """Lower (N, C, H, W) to columns of receptive fields.
+
+    Returns (cols, out_h, out_w) where cols has shape
+    (N, C*kh*kw, out_h*out_w).
+    """
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    s = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Scatter-add columns back to the (padded) input; inverse of _im2col."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += cols[:, :, i, j]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution.  x: (N,C,H,W); weight: (O,C,kh,kw); bias: (O,)."""
+    out_ch, in_ch, kh, kw = weight.shape
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride, padding)
+    w_mat = weight.data.reshape(out_ch, -1)
+    out = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1)
+    out_data = out.reshape(x.shape[0], out_ch, out_h, out_w)
+    x_shape = x.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        g = grad.reshape(x_shape[0], out_ch, -1)
+        gw = np.einsum("nop,nkp->ok", g, cols, optimize=True).reshape(weight.shape)
+        gcols = np.einsum("ok,nop->nkp", w_mat, g, optimize=True)
+        gx = _col2im(gcols, x_shape, kh, kw, stride, padding)
+        contributions = [(x, gx), (weight, gw)]
+        if bias is not None:
+            contributions.append((bias, g.sum(axis=(0, 2))))
+        return contributions
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over (N, C, H, W); kernel must evenly divide spatial dims
+    when stride == kernel (the common CNN configuration we use)."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, out_h, out_w = _im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    cols = cols.reshape(n * c, kernel * kernel, out_h * out_w)
+    arg = cols.argmax(axis=1)
+    out_data = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    def backward(grad):
+        gcols = np.zeros_like(cols)
+        np.put_along_axis(
+            gcols, arg[:, None, :], grad.reshape(n * c, 1, out_h * out_w), axis=1
+        )
+        gx = _col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        return [(x, gx.reshape(n, c, h, w))]
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, out_h, out_w = _im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    cols = cols.reshape(n * c, kernel * kernel, out_h * out_w)
+    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    k2 = kernel * kernel
+
+    def backward(grad):
+        g = grad.reshape(n * c, 1, out_h * out_w) / k2
+        gcols = np.broadcast_to(g, (n * c, k2, out_h * out_w)).copy()
+        gx = _col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        return [(x, gx.reshape(n, c, h, w))]
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Global average pooling when output_size == 1 (what VGG heads need)."""
+    if output_size != 1:
+        raise NotImplementedError("only global (1x1) adaptive pooling is supported")
+    n, c, h, w = x.shape
+    out = x.mean(axis=(2, 3), keepdims=True)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Misc
+# ----------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map: x @ W^T + b, with W stored (out_features, in_features)."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    shape = x.shape[:start_dim] + (-1,)
+    return x.reshape(shape)

@@ -1,0 +1,29 @@
+"""Energy accounting: the paper treats per-inference energy as proportional
+to MAC count (Section III), with edge-device budgets expressed as available
+FLOPs.  This module provides the conversion helpers used by the assignment
+algorithm's energy constraint ``L · e_j ≤ E_i``.
+"""
+
+from __future__ import annotations
+
+from ..models.vit import ViTConfig
+from .flops import paper_flops
+
+# Joules per MAC for a Raspberry-Pi-class in-order ARM core.  Only relative
+# values matter for the optimization; this constant sets a physical scale
+# (≈ 5 W at 0.456 GMAC/s effective throughput, see repro.edge.device).
+JOULES_PER_MAC = 1.1e-8
+
+
+def inference_energy_flops(config: ViTConfig) -> int:
+    """Energy cost of one inference, in MACs (the paper's unit)."""
+    return paper_flops(config)
+
+
+def inference_energy_joules(config: ViTConfig) -> float:
+    return paper_flops(config) * JOULES_PER_MAC
+
+
+def workload_energy_flops(config: ViTConfig, num_samples: int) -> int:
+    """``L · e_j`` — total FLOPs to process a workload of L samples."""
+    return paper_flops(config) * num_samples

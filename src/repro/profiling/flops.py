@@ -1,0 +1,155 @@
+"""Analytic FLOPs (MAC) accounting for ViT models — Section III of the paper.
+
+The paper estimates energy as proportional to multiply-accumulate counts:
+
+* fully-connected structures (patch embedding, FFN, MLP head) contribute
+  ``FC_in × FC_out`` MACs per token;
+* MHSA contributes ``3·p·d² + 2·p²·d`` MACs, i.e. the Q/K/V projections
+  plus the two attention matmuls (the output projection is *not* counted —
+  this matches the paper's own numbers: a sub-model with half the heads of
+  ViT-Base reports exactly ViT-Small's 4.25 GMACs).
+
+Two counters are provided:
+
+* :func:`paper_flops` — faithful Section III accounting (used for the
+  tables so ratios line up with the paper);
+* :func:`detailed_flops` — full accounting including the attention output
+  projection and final LayerNorm-free ops, for sanity cross-checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..models.vit import ViTConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class FlopsBreakdown:
+    """Per-component MAC counts for one forward pass of a ViT."""
+
+    patch_embed: int
+    attention_qkv: int
+    attention_scores: int
+    attention_output_proj: int
+    ffn: int
+    head: int
+
+    @property
+    def total(self) -> int:
+        return (self.patch_embed + self.attention_qkv + self.attention_scores
+                + self.attention_output_proj + self.ffn + self.head)
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self) | {"total": self.total}
+
+
+def _breakdown(config: ViTConfig, include_output_proj: bool) -> FlopsBreakdown:
+    p_img = config.num_patches            # patches from the image
+    p = p_img + 1                         # +1 CLS token inside the blocks
+    d = config.embed_dim
+    a = config.resolved_attn_dim
+    c = config.resolved_mlp_hidden
+    patch_dim = config.in_channels * config.patch_size ** 2
+
+    patch_embed = p_img * patch_dim * d
+    qkv = config.depth * 3 * p * d * a
+    scores = config.depth * 2 * p * p * a
+    out_proj = config.depth * p * a * d if include_output_proj else 0
+    ffn = config.depth * 2 * p * d * c
+    head = d * config.num_classes
+    return FlopsBreakdown(patch_embed, qkv, scores, out_proj, ffn, head)
+
+
+def paper_flops(config: ViTConfig) -> int:
+    """MAC count following Section III exactly (no attention output proj)."""
+    return _breakdown(config, include_output_proj=False).total
+
+
+def paper_flops_breakdown(config: ViTConfig) -> FlopsBreakdown:
+    return _breakdown(config, include_output_proj=False)
+
+
+def detailed_flops(config: ViTConfig) -> int:
+    """MAC count including the attention output projection."""
+    return _breakdown(config, include_output_proj=True).total
+
+
+def mlp_flops(dims: list[int]) -> int:
+    """MACs of a plain MLP given its layer widths (e.g. the fusion MLP)."""
+    return sum(a * b for a, b in zip(dims[:-1], dims[1:]))
+
+
+def fusion_flops(input_dim: int, num_classes: int, shrink: float = 0.5) -> int:
+    hidden = max(4, int(round(input_dim * shrink)))
+    return mlp_flops([input_dim, hidden, num_classes])
+
+
+def vgg_flops(config) -> int:
+    """MAC count of one VGG forward pass (convs + classifier).
+
+    Conv layer: k^2 * C_in * C_out * H_out * W_out; maxpool is free in MAC
+    terms.  Used to place the Split-CNN baseline on the simulated devices.
+    """
+    from ..models.vgg import VGGConfig  # local import to avoid a cycle
+
+    assert isinstance(config, VGGConfig)
+    total = 0
+    in_ch = config.in_channels
+    spatial = config.image_size
+    for entry in config.scaled_plan():
+        if entry == "M":
+            spatial //= 2
+            continue
+        total += 9 * in_ch * entry * spatial * spatial
+        in_ch = entry
+    flat = in_ch * spatial * spatial
+    hidden = max(8, int(round(config.classifier_hidden * config.width_scale)))
+    total += flat * hidden + hidden * hidden + hidden * config.num_classes
+    return total
+
+
+def snn_flops(config) -> int:
+    """Synaptic-operation count of one rate-coded ConvSNN forward pass.
+
+    Every simulation time step re-runs the conv stack, so cost scales with
+    ``time_steps`` — the reason Split-SNN shows the highest latency in the
+    paper's Fig. 7 despite its small memory footprint.
+    """
+    from ..models.snn import SNNConfig
+
+    assert isinstance(config, SNNConfig)
+    per_step = 0
+    in_ch = config.in_channels
+    spatial = config.image_size
+    for out_ch in config.scaled_channels():
+        per_step += 9 * in_ch * out_ch * spatial * spatial
+        spatial //= 2
+        in_ch = out_ch
+    flat = in_ch * spatial * spatial
+    hidden = max(8, int(round(config.classifier_hidden * config.width_scale)))
+    per_step += flat * hidden
+    return per_step * config.time_steps + hidden * config.num_classes
+
+
+def token_pruned_flops(config: ViTConfig, token_keep_ratio: float) -> int:
+    """MACs with inference-time token pruning after the first block.
+
+    Block 1 sees all ``p+1`` tokens; blocks 2..depth see ``k+1`` tokens
+    where ``k = round(num_patches * keep_ratio)``.  Composes with the
+    structural pruning encoded in ``config`` itself.
+    """
+    if not 0.0 < token_keep_ratio <= 1.0:
+        raise ValueError("token_keep_ratio must be in (0, 1]")
+    if config.depth < 2 or token_keep_ratio == 1.0:
+        return paper_flops(config)
+    full = _breakdown(config, include_output_proj=False)
+    p_full = config.num_patches + 1
+    kept = max(1, int(round(config.num_patches * token_keep_ratio))) + 1
+    d, a, c = config.embed_dim, config.resolved_attn_dim, config.resolved_mlp_hidden
+
+    def block_cost(p: int) -> int:
+        return 3 * p * d * a + 2 * p * p * a + 2 * p * d * c
+
+    blocks = block_cost(p_full) + (config.depth - 1) * block_cost(kept)
+    return full.patch_embed + blocks + full.head

@@ -1,0 +1,52 @@
+"""Structured ViT pruning (Section IV-C) and baseline channel pruning."""
+
+from .channel import prune_snn, prune_vgg, snn_filter_activations, vgg_filter_activations
+from .importance import (
+    Probe,
+    kl_attention_importance,
+    kl_ffn_importance,
+    kl_residual_channel_importance,
+    magnitude_attention_importance,
+    magnitude_ffn_importance,
+    magnitude_residual_channel_importance,
+)
+from .pipeline import PruneConfig, PrunedSubModel, prune_submodel
+from .structured import (
+    prune_ffn,
+    prune_mhsa,
+    prune_short_connection,
+    pruned_dims,
+    pruning_factor,
+)
+from .surgery import (
+    prune_attention_dims,
+    prune_ffn_hidden,
+    prune_residual_channels,
+    replace_classifier_head,
+)
+
+__all__ = [
+    "Probe",
+    "PruneConfig",
+    "PrunedSubModel",
+    "kl_attention_importance",
+    "kl_ffn_importance",
+    "kl_residual_channel_importance",
+    "magnitude_attention_importance",
+    "magnitude_ffn_importance",
+    "magnitude_residual_channel_importance",
+    "prune_attention_dims",
+    "prune_ffn",
+    "prune_ffn_hidden",
+    "prune_mhsa",
+    "prune_residual_channels",
+    "prune_short_connection",
+    "prune_snn",
+    "prune_submodel",
+    "prune_vgg",
+    "pruned_dims",
+    "pruning_factor",
+    "replace_classifier_head",
+    "snn_filter_activations",
+    "vgg_filter_activations",
+]

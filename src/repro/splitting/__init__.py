@@ -1,0 +1,43 @@
+"""Model splitting (Algorithm 1): class partitioning, head scheduling, fusion."""
+
+from .class_assignment import (
+    balanced_class_partition,
+    unbalanced_class_partition,
+    validate_partition,
+)
+from .fusion import (
+    collect_features,
+    entire_retrain,
+    fused_accuracy,
+    fused_predict,
+    softmax_average_accuracy,
+    softmax_average_predict,
+    train_fusion_mlp,
+)
+from .schedule import (
+    HeadSchedule,
+    ScheduleInfeasible,
+    SubModelFootprint,
+    footprint,
+    plan_head_schedule,
+    submodel_config,
+)
+
+__all__ = [
+    "HeadSchedule",
+    "ScheduleInfeasible",
+    "SubModelFootprint",
+    "balanced_class_partition",
+    "collect_features",
+    "entire_retrain",
+    "footprint",
+    "fused_accuracy",
+    "fused_predict",
+    "plan_head_schedule",
+    "softmax_average_accuracy",
+    "softmax_average_predict",
+    "submodel_config",
+    "train_fusion_mlp",
+    "unbalanced_class_partition",
+    "validate_partition",
+]

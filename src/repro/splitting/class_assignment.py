@@ -1,0 +1,65 @@
+"""Balanced class partitioning (Algorithm 1, lines 3–6).
+
+The paper assigns classes to sub-models randomly, re-drawing until the
+subsets are balanced to within one class (``||C_a| - |C_b|| <= 1``).  A
+random balanced partition can be produced directly by shuffling and
+slicing, which satisfies exactly the same acceptance condition — we do
+that instead of rejection sampling, and verify the invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def balanced_class_partition(num_classes: int, num_groups: int,
+                             rng: np.random.Generator | None = None) -> list[list[int]]:
+    """Split ``range(num_classes)`` into ``num_groups`` balanced subsets."""
+    if num_groups < 1:
+        raise ValueError("num_groups must be >= 1")
+    if num_groups > num_classes:
+        raise ValueError(
+            f"cannot split {num_classes} classes into {num_groups} non-empty groups")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(num_classes)
+    groups = [sorted(int(c) for c in chunk)
+              for chunk in np.array_split(order, num_groups)]
+    assert max(len(g) for g in groups) - min(len(g) for g in groups) <= 1
+    return groups
+
+
+def unbalanced_class_partition(num_classes: int, num_groups: int,
+                               skew: float = 2.0,
+                               rng: np.random.Generator | None = None) -> list[list[int]]:
+    """A deliberately skewed partition (for the balance ablation).
+
+    Group sizes follow a geometric progression with ratio ``skew`` before
+    rounding; every group keeps at least one class.
+    """
+    if num_groups > num_classes:
+        raise ValueError("more groups than classes")
+    rng = rng or np.random.default_rng(0)
+    weights = np.array([skew ** i for i in range(num_groups)], dtype=np.float64)
+    weights /= weights.sum()
+    sizes = np.maximum(1, np.round(weights * num_classes).astype(int))
+    # Fix rounding drift while keeping each group non-empty.
+    while sizes.sum() > num_classes:
+        sizes[np.argmax(sizes)] -= 1
+    while sizes.sum() < num_classes:
+        sizes[np.argmin(sizes)] += 1
+    order = rng.permutation(num_classes)
+    groups = []
+    start = 0
+    for size in sizes:
+        groups.append(sorted(int(c) for c in order[start:start + size]))
+        start += size
+    return groups
+
+
+def validate_partition(groups: list[list[int]], num_classes: int) -> None:
+    """Check the Eq.-1 constraint: every class covered exactly once."""
+    flat = [c for group in groups for c in group]
+    if sorted(flat) != list(range(num_classes)):
+        raise ValueError("partition must cover every class exactly once")
+    if any(not group for group in groups):
+        raise ValueError("partition contains an empty group")

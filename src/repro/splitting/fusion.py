@@ -1,0 +1,136 @@
+"""Model fusion (Section IV-E) and the Table-IV fusion variants.
+
+Three fusion strategies are implemented:
+
+* :func:`train_fusion_mlp` — the ED-ViT default: freeze the sub-models,
+  concatenate their CLS features, train the tower MLP once;
+* :func:`softmax_average_predict` — the "w/o retrain" ablation: place each
+  sub-model's softmax over its own classes into the full class vector (the
+  class subsets are disjoint, so this is the concatenated-softmax
+  prediction the paper averages);
+* :func:`entire_retrain` — the "w/ entire retrain" ablation: finetune the
+  sub-models and the fusion MLP jointly, end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.training import TrainConfig, extract_features, predict_probabilities, train_classifier
+from ..data.loaders import DataLoader
+from ..data.synthetic import Dataset
+from ..models.fusion import FusionMLP, build_fusion_for
+from ..pruning.pipeline import PrunedSubModel
+
+
+def collect_features(submodels: list[PrunedSubModel], x: np.ndarray,
+                     batch_size: int = 64) -> np.ndarray:
+    """Concatenated frozen features from every sub-model, shape (N, sum d_i)."""
+    feats = [extract_features(sm.model, x, batch_size) for sm in submodels]
+    return np.concatenate(feats, axis=-1)
+
+
+def train_fusion_mlp(submodels: list[PrunedSubModel], dataset: Dataset,
+                     epochs: int = 5, lr: float = 1e-3, batch_size: int = 32,
+                     shrink: float = 0.5, seed: int = 0) -> FusionMLP:
+    """Train the tower MLP on frozen concatenated sub-model features."""
+    rng = np.random.default_rng(seed)
+    fusion = build_fusion_for([sm.model.feature_dim() for sm in submodels],
+                              num_classes=dataset.num_classes, shrink=shrink,
+                              rng=rng)
+    features = collect_features(submodels, dataset.x_train, batch_size)
+    train_classifier(fusion, features, dataset.y_train,
+                     TrainConfig(epochs=epochs, batch_size=batch_size, lr=lr,
+                                 seed=seed))
+    return fusion
+
+
+def fused_predict(submodels: list[PrunedSubModel], fusion: FusionMLP,
+                  x: np.ndarray, batch_size: int = 64,
+                  failed: set[int] | frozenset[int] | None = None) -> np.ndarray:
+    """Full-pipeline class predictions for a batch of inputs.
+
+    ``failed`` lists sub-model indices whose device crashed: their feature
+    slots are zero-filled, letting the fusion MLP degrade gracefully
+    instead of stalling the whole system.
+    """
+    failed = set(failed or ())
+    if not failed <= set(range(len(submodels))):
+        raise IndexError(f"failed indices out of range: {sorted(failed)}")
+    parts = []
+    for i, sm in enumerate(submodels):
+        if i in failed:
+            parts.append(np.zeros((len(x), sm.model.feature_dim()),
+                                  dtype=np.float32))
+        else:
+            parts.append(extract_features(sm.model, x, batch_size))
+    features = np.concatenate(parts, axis=-1)
+    logits = []
+    with nn.no_grad():
+        for start in range(0, len(features), batch_size):
+            out = fusion(nn.Tensor(features[start:start + batch_size]))
+            logits.append(out.data.copy())
+    return np.concatenate(logits, axis=0).argmax(axis=-1)
+
+
+def fused_accuracy(submodels: list[PrunedSubModel], fusion: FusionMLP,
+                   dataset: Dataset, batch_size: int = 64) -> float:
+    pred = fused_predict(submodels, fusion, dataset.x_test, batch_size)
+    return float((pred == dataset.y_test).mean())
+
+
+def softmax_average_predict(submodels: list[PrunedSubModel],
+                            num_classes: int, x: np.ndarray,
+                            batch_size: int = 64) -> np.ndarray:
+    """The "(w/o) retrain" fusion: concatenated per-subset softmax scores."""
+    scores = np.zeros((len(x), num_classes), dtype=np.float64)
+    for sm in submodels:
+        probs = predict_probabilities(sm.model, x, batch_size)
+        if getattr(sm, "one_vs_rest", False):
+            # Binary head: column 1 is the positive-class probability.
+            scores[:, sm.classes[0]] = probs[:, 1]
+        else:
+            for local, global_cls in enumerate(sm.classes):
+                scores[:, global_cls] = probs[:, local]
+    return scores.argmax(axis=-1)
+
+
+def softmax_average_accuracy(submodels: list[PrunedSubModel],
+                             dataset: Dataset, batch_size: int = 64) -> float:
+    pred = softmax_average_predict(submodels, dataset.num_classes,
+                                   dataset.x_test, batch_size)
+    return float((pred == dataset.y_test).mean())
+
+
+def entire_retrain(submodels: list[PrunedSubModel], fusion: FusionMLP,
+                   dataset: Dataset, epochs: int = 2, lr: float = 5e-4,
+                   batch_size: int = 32, seed: int = 0) -> None:
+    """The "(w/) entire retrain" ablation: joint end-to-end finetuning.
+
+    Gradients flow through the fusion MLP *and* every sub-model.  The paper
+    notes this recovers substantial accuracy but is impractical on real
+    deployments; we implement it for Table IV.
+    """
+    params = list(fusion.parameters())
+    for sm in submodels:
+        params.extend(sm.model.parameters())
+        sm.model.train()
+    fusion.train()
+    optimizer = nn.Adam(params, lr=lr)
+    rng = np.random.default_rng(seed)
+    loader = DataLoader(dataset.x_train, dataset.y_train,
+                        batch_size=batch_size, shuffle=True, rng=rng)
+    for _ in range(epochs):
+        for xb, yb in loader:
+            xb_t = nn.Tensor(xb)
+            feats = [sm.model.forward_features(xb_t) for sm in submodels]
+            logits = fusion.fuse(feats)
+            loss = nn.cross_entropy(logits, yb)
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(params, 5.0)
+            optimizer.step()
+    for sm in submodels:
+        sm.model.eval()
+    fusion.eval()

@@ -1,0 +1,70 @@
+"""Split-CNN (NNFacet-style) baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.split_cnn import SplitCNNConfig, build_split_cnn
+from repro.core.training import TrainConfig, train_classifier
+from repro.models.vgg import VGG, vgg8_micro_config
+
+
+@pytest.fixture(scope="module")
+def trained_vgg(tiny_dataset):
+    model = VGG(vgg8_micro_config(num_classes=10, image_size=16,
+                                 width_scale=0.25),
+                rng=np.random.default_rng(0))
+    train_classifier(model, tiny_dataset.x_train, tiny_dataset.y_train,
+                     TrainConfig(epochs=6, lr=2e-3, seed=0))
+    return model
+
+
+@pytest.fixture(scope="module")
+def cnn_system(trained_vgg, tiny_dataset):
+    return build_split_cnn(trained_vgg, tiny_dataset,
+                           SplitCNNConfig(num_devices=2, keep_ratio=0.5,
+                                          adapt_epochs=1, finetune_epochs=2,
+                                          fusion_epochs=8, seed=0))
+
+
+class TestBuildSplitCNN:
+    def test_submodel_count(self, cnn_system):
+        assert len(cnn_system.submodels) == 2
+
+    def test_partition_covers_all_classes(self, cnn_system):
+        classes = sorted(c for g in cnn_system.partition for c in g)
+        assert classes == list(range(10))
+
+    def test_submodels_pruned(self, cnn_system, trained_vgg):
+        for sm in cnn_system.submodels:
+            assert sm.model.num_parameters() < trained_vgg.num_parameters()
+
+    def test_submodel_heads_match_subsets(self, cnn_system):
+        for sm, classes in zip(cnn_system.submodels, cnn_system.partition):
+            assert sm.model.config.num_classes == len(classes)
+
+    def test_accuracy_beats_chance(self, cnn_system, tiny_dataset):
+        assert cnn_system.accuracy(tiny_dataset) > 0.15
+
+    def test_softmax_average_beats_chance(self, cnn_system, tiny_dataset):
+        assert cnn_system.softmax_average_accuracy(tiny_dataset) > 0.15
+
+    def test_history_recorded(self, cnn_system):
+        for sm in cnn_system.submodels:
+            assert "adapt_acc" in sm.history
+            assert "finetune_acc" in sm.history
+
+    def test_total_params_reported(self, cnn_system):
+        assert cnn_system.total_params() > 0
+
+    def test_keep_ratio_one_skips_pruning(self, trained_vgg, tiny_dataset):
+        system = build_split_cnn(trained_vgg, tiny_dataset,
+                                 SplitCNNConfig(num_devices=2, keep_ratio=1.0,
+                                                adapt_epochs=0,
+                                                finetune_epochs=0,
+                                                fusion_epochs=1, seed=0))
+        # Head layers differ but backbones keep their widths.
+        convs_base = [m.out_channels for m in trained_vgg.features
+                      if hasattr(m, "out_channels")]
+        convs_sub = [m.out_channels for m in system.submodels[0].model.features
+                     if hasattr(m, "out_channels")]
+        assert convs_base == convs_sub

@@ -1,0 +1,58 @@
+"""Split-SNN (EC-SNN-style) baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.split_snn import SplitSNNConfig, build_split_snn
+from repro.core.training import TrainConfig, train_classifier
+from repro.models.snn import ConvSNN, SNNConfig
+
+
+@pytest.fixture(scope="module")
+def trained_snn(tiny_dataset):
+    cfg = SNNConfig(image_size=16, num_classes=10, channels=(8, 16),
+                    time_steps=3, classifier_hidden=32)
+    model = ConvSNN(cfg, rng=np.random.default_rng(0))
+    train_classifier(model, tiny_dataset.x_train, tiny_dataset.y_train,
+                     TrainConfig(epochs=6, lr=2e-3, seed=0))
+    return model
+
+
+@pytest.fixture(scope="module")
+def snn_system(trained_snn, tiny_dataset):
+    return build_split_snn(trained_snn, tiny_dataset,
+                           SplitSNNConfig(num_devices=2, keep_ratio=0.5,
+                                          adapt_epochs=1, finetune_epochs=2,
+                                          fusion_epochs=8, seed=0))
+
+
+class TestBuildSplitSNN:
+    def test_submodel_count(self, snn_system):
+        assert len(snn_system.submodels) == 2
+
+    def test_partition_covers_all_classes(self, snn_system):
+        classes = sorted(c for g in snn_system.partition for c in g)
+        assert classes == list(range(10))
+
+    def test_submodels_pruned(self, snn_system, trained_snn):
+        for sm in snn_system.submodels:
+            assert sm.model.num_parameters() < trained_snn.num_parameters()
+
+    def test_channels_halved(self, snn_system):
+        for sm in snn_system.submodels:
+            assert sm.model.config.scaled_channels() == (4, 8)
+
+    def test_accuracy_beats_chance(self, snn_system, tiny_dataset):
+        assert snn_system.accuracy(tiny_dataset) > 0.12
+
+    def test_softmax_average_in_range(self, snn_system, tiny_dataset):
+        acc = snn_system.softmax_average_accuracy(tiny_dataset)
+        assert 0.0 <= acc <= 1.0
+
+    def test_total_params_reported(self, snn_system):
+        assert snn_system.total_params() > 0
+
+    def test_spiking_dynamics_preserved_after_split(self, snn_system):
+        # Sub-models remain rate-coded SNNs with the original time steps.
+        for sm in snn_system.submodels:
+            assert sm.model.config.time_steps == 3

@@ -1,0 +1,59 @@
+"""CLI smoke tests: every subcommand runs and prints a table."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCLI:
+    def test_profile(self, capsys):
+        out = run_cli(capsys, "profile")
+        assert "ViT-Base" in out
+        assert "Latency" in out
+
+    def test_flops_default(self, capsys):
+        out = run_cli(capsys, "flops")
+        assert "CIFAR-10" in out and "GTZAN" in out
+
+    def test_flops_algorithm1(self, capsys):
+        out = run_cli(capsys, "flops", "--mode", "algorithm1")
+        assert "N=10" in out
+
+    def test_plan_default(self, capsys):
+        out = run_cli(capsys, "plan")
+        assert "latency_s" in out
+
+    def test_plan_small_model(self, capsys):
+        out = run_cli(capsys, "plan", "--model", "vit-small")
+        assert "latency_s" in out
+
+    def test_plan_explicit_budget(self, capsys):
+        out = run_cli(capsys, "plan", "--model", "vit-base",
+                      "--budget-mb", "300")
+        assert "total_memory_mb" in out
+
+    def test_communication(self, capsys):
+        out = run_cli(capsys, "communication")
+        assert "feature_bytes" in out
+
+    def test_schedule(self, capsys):
+        out = run_cli(capsys, "schedule", "--devices", "3")
+        assert "total:" in out
+
+    def test_schedule_algorithm1(self, capsys):
+        out = run_cli(capsys, "schedule", "--devices", "3",
+                      "--mode", "algorithm1")
+        assert "size_mb" in out
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_model_exits(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--model", "vit-giant"])

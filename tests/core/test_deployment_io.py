@@ -1,0 +1,93 @@
+"""Deployment-bundle save/load tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.deployment_io import (
+    MANIFEST_NAME,
+    load_system,
+    save_system,
+    submodel_file_for_device,
+)
+from repro.core.edvit import EDViTConfig, build_edvit
+from repro.edge.device import make_fleet
+from repro.pruning.pipeline import PruneConfig
+
+MB = 2 ** 20
+
+
+@pytest.fixture(scope="module")
+def saved_bundle(trained_tiny_vit, tiny_dataset, tmp_path_factory):
+    fleet = [d.to_spec() for d in make_fleet(2)]
+    system = build_edvit(
+        trained_tiny_vit, tiny_dataset, fleet,
+        EDViTConfig(num_devices=2, memory_budget_bytes=64 * MB,
+                    prune=PruneConfig(probe_size=8, head_adapt_epochs=1,
+                                      stage_finetune_epochs=0,
+                                      retrain_epochs=2, backend="magnitude"),
+                    fusion_epochs=8, fusion_lr=3e-3, seed=0))
+    directory = tmp_path_factory.mktemp("bundle")
+    save_system(system, directory)
+    return system, directory
+
+
+class TestSaveSystem:
+    def test_writes_all_files(self, saved_bundle):
+        system, directory = saved_bundle
+        assert (directory / MANIFEST_NAME).exists()
+        assert (directory / "fusion.npz").exists()
+        for i in range(len(system.submodels)):
+            assert (directory / f"submodel-{i}.npz").exists()
+
+    def test_manifest_content(self, saved_bundle):
+        system, directory = saved_bundle
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        assert manifest["num_classes"] == 10
+        assert len(manifest["partition"]) == 2
+        assert set(manifest["placement"]) == {"submodel-0", "submodel-1"}
+
+
+class TestLoadSystem:
+    def test_roundtrip_predictions_identical(self, saved_bundle, tiny_dataset):
+        system, directory = saved_bundle
+        restored = load_system(directory)
+        x = tiny_dataset.x_test[:12]
+        np.testing.assert_array_equal(system.predict(x), restored.predict(x))
+
+    def test_roundtrip_accuracy_identical(self, saved_bundle, tiny_dataset):
+        system, directory = saved_bundle
+        restored = load_system(directory)
+        assert restored.accuracy(tiny_dataset) == pytest.approx(
+            system.accuracy(tiny_dataset))
+
+    def test_roundtrip_metadata(self, saved_bundle):
+        system, directory = saved_bundle
+        restored = load_system(directory)
+        assert restored.partition == system.partition
+        assert restored.plan.mapping == system.plan.mapping
+        assert [sm.classes for sm in restored.submodels] == \
+            [sm.classes for sm in system.submodels]
+
+    def test_version_check(self, saved_bundle):
+        _, directory = saved_bundle
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        manifest["format_version"] = 99
+        bad_dir = directory.parent / "bad"
+        bad_dir.mkdir(exist_ok=True)
+        (bad_dir / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_system(bad_dir)
+
+
+class TestOpsHelpers:
+    def test_files_for_device(self, saved_bundle):
+        system, directory = saved_bundle
+        device_id = system.plan.mapping["submodel-0"]
+        files = submodel_file_for_device(directory, device_id)
+        assert any(f.name == "submodel-0.npz" for f in files)
+
+    def test_files_for_unknown_device_empty(self, saved_bundle):
+        _, directory = saved_bundle
+        assert submodel_file_for_device(directory, "ghost") == []

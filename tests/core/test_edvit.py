@@ -1,0 +1,84 @@
+"""ED-ViT orchestrator tests: the full Fig.-1 pipeline at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.core.edvit import EDViTConfig, EDViTSystem, build_edvit
+from repro.edge.device import make_fleet, raspberry_pi_4b
+from repro.edge.simulator import simulate_inference
+from repro.pruning.pipeline import PruneConfig
+
+MB = 2 ** 20
+
+FAST_PRUNE = PruneConfig(probe_size=12, head_adapt_epochs=2,
+                         stage_finetune_epochs=1, retrain_epochs=4,
+                         backend="kl")
+
+
+@pytest.fixture(scope="module")
+def built_system(trained_tiny_vit, tiny_dataset):
+    fleet = [d.to_spec() for d in make_fleet(2)]
+    return build_edvit(
+        trained_tiny_vit, tiny_dataset, fleet,
+        EDViTConfig(num_devices=2, memory_budget_bytes=64 * MB,
+                    prune=FAST_PRUNE, fusion_epochs=12, fusion_lr=3e-3,
+                    seed=0))
+
+
+class TestBuild:
+    def test_submodel_count(self, built_system):
+        assert len(built_system.submodels) == 2
+
+    def test_partition_covers_classes(self, built_system):
+        classes = sorted(c for g in built_system.partition for c in g)
+        assert classes == list(range(10))
+
+    def test_plan_places_every_submodel(self, built_system):
+        assert len(built_system.plan.mapping) == 2
+
+    def test_accuracy_beats_chance(self, built_system, tiny_dataset):
+        assert built_system.accuracy(tiny_dataset) > 0.3
+
+    def test_softmax_average_works(self, built_system, tiny_dataset):
+        acc = built_system.softmax_average_accuracy(tiny_dataset)
+        assert 0.0 <= acc <= 1.0
+
+    def test_predictions_shape(self, built_system, tiny_dataset):
+        pred = built_system.predict(tiny_dataset.x_test[:5])
+        assert pred.shape == (5,)
+
+    def test_total_size_within_budget(self, built_system):
+        assert built_system.total_size_mb() <= 64
+
+    def test_reporting_helpers(self, built_system):
+        assert len(built_system.submodel_sizes_mb()) == 2
+        assert all(f > 0 for f in built_system.submodel_flops())
+        assert all(d > 0 for d in built_system.feature_dims())
+
+
+class TestDeploymentExport:
+    def test_simulates_end_to_end(self, built_system):
+        fleet = make_fleet(2)
+        spec = built_system.deployment(fleet, raspberry_pi_4b("pi-fusion"))
+        result = simulate_inference(spec, num_samples=1)
+        assert result.max_latency > 0
+
+    def test_placement_follows_plan(self, built_system):
+        fleet = make_fleet(2)
+        spec = built_system.deployment(fleet, raspberry_pi_4b("pi-fusion"))
+        for model_id, device_id in spec.placement.items():
+            assert device_id == built_system.plan.mapping[model_id]
+
+
+class TestSingleDevice:
+    def test_n1_is_prune_only(self, trained_tiny_vit, tiny_dataset):
+        fleet = [d.to_spec() for d in make_fleet(1)]
+        system = build_edvit(
+            trained_tiny_vit, tiny_dataset, fleet,
+            EDViTConfig(num_devices=1, memory_budget_bytes=64 * MB,
+                        prune=FAST_PRUNE, fusion_epochs=3, seed=0))
+        assert len(system.submodels) == 1
+        assert system.submodels[0].model.config.num_classes == 10
+        # Pruned: smaller than the original.
+        assert (system.submodels[0].model.num_parameters()
+                < trained_tiny_vit.num_parameters())

@@ -1,0 +1,159 @@
+"""Experiment-harness tests: the analytic table/figure generators."""
+
+import pytest
+
+from repro.core.experiments import (
+    PAPER_BUDGETS_MB,
+    PAPER_DEVICE_COUNTS,
+    communication_rows,
+    deployment_for_point,
+    latency_memory_curve,
+    paper_hp,
+    paper_kept_heads,
+    plan_split,
+    table1_rows,
+    table2_rows,
+)
+from repro.models.vit import vit_base_config, vit_small_config
+
+
+class TestPaperSchedule:
+    def test_vit_base_kept_heads(self):
+        # Implied by the paper's sizes/FLOPs: 6/6/4/3/2 of 12 heads.
+        assert [paper_kept_heads(12, n) for n in PAPER_DEVICE_COUNTS] == \
+            [6, 6, 4, 3, 2]
+
+    def test_vit_small_ten_devices_keeps_one(self):
+        assert paper_kept_heads(6, 10) == 1
+
+    def test_hp_complements_kept(self):
+        assert paper_hp(12, 10) == 10
+
+    def test_fallback_for_unlisted_n(self):
+        assert 1 <= paper_kept_heads(12, 7) < 12
+
+
+class TestTable1:
+    def test_three_rows(self):
+        rows = table1_rows()
+        assert [r["Model"] for r in rows] == ["ViT-Small", "ViT-Base",
+                                              "ViT-Large"]
+
+    def test_base_latency_anchor(self):
+        rows = table1_rows()
+        base = next(r for r in rows if r["Model"] == "ViT-Base")
+        assert base["Latency (ms)"] == pytest.approx(36940, abs=20)
+
+    def test_params_match_paper(self):
+        rows = table1_rows()
+        assert rows[0]["Params (M)"] == pytest.approx(22.1, abs=0.1)
+        assert rows[2]["Params (M)"] == pytest.approx(304.4, abs=0.2)
+
+
+class TestTable2:
+    def test_flops_decrease_with_devices(self):
+        rows = table2_rows()
+        for row in rows:
+            values = [row["Original (G)"], row["N=2 (G)"], row["N=3 (G)"],
+                      row["N=5 (G)"], row["N=10 (G)"]]
+            assert values == sorted(values, reverse=True)
+
+    def test_n2_matches_vit_small(self):
+        rows = table2_rows()
+        cifar = next(r for r in rows if r["Dataset"] == "CIFAR-10")
+        assert cifar["N=2 (G)"] == pytest.approx(4.25, abs=0.05)
+
+    def test_gtzan_slightly_cheaper(self):
+        rows = table2_rows()
+        cifar = next(r for r in rows if r["Dataset"] == "CIFAR-10")
+        gtzan = next(r for r in rows if r["Dataset"] == "GTZAN")
+        assert gtzan["Original (G)"] < cifar["Original (G)"]
+
+
+class TestPlanSplit:
+    def test_paper_mode_uniform_hps(self):
+        point = plan_split(vit_base_config(num_classes=10), 5, 10,
+                           PAPER_BUDGETS_MB["vit-base"], "paper")
+        assert len(set(point.hps)) == 1
+
+    def test_algorithm1_mode_respects_budget(self):
+        point = plan_split(vit_base_config(num_classes=10), 5, 10,
+                           PAPER_BUDGETS_MB["vit-base"], "algorithm1")
+        assert point.total_size_mb <= PAPER_BUDGETS_MB["vit-base"]
+        assert point.schedule is not None
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            plan_split(vit_base_config(), 2, 10, 180, "magic")
+
+
+class TestLatencyMemoryCurve:
+    def test_latency_monotone_beyond_two(self):
+        rows = latency_memory_curve(vit_base_config(num_classes=10),
+                                    budget_mb=180)
+        latencies = [r["latency_s"] for r in rows]
+        assert latencies[1] >= latencies[2] >= latencies[3] >= latencies[4]
+
+    def test_speedup_at_ten_devices_matches_paper(self):
+        rows = latency_memory_curve(vit_base_config(num_classes=10),
+                                    budget_mb=180, device_counts=(10,))
+        # Paper: 28.9x; simulator gives ~28.2x.
+        assert rows[0]["speedup_vs_original"] == pytest.approx(28.9, rel=0.1)
+
+    def test_memory_spike_at_two_devices(self):
+        rows = latency_memory_curve(vit_base_config(num_classes=10),
+                                    budget_mb=180)
+        mem = {r["devices"]: r["total_memory_mb"] for r in rows}
+        assert mem[2] > mem[1]
+        assert mem[2] > mem[3] > mem[5] > mem[10] / 1.0 or mem[3] > mem[10]
+
+    def test_n10_per_model_size_near_paper(self):
+        rows = latency_memory_curve(vit_base_config(num_classes=10),
+                                    budget_mb=180, device_counts=(10,))
+        assert rows[0]["per_model_mb"] == pytest.approx(9.60, rel=0.05)
+
+    def test_vit_small_budget(self):
+        rows = latency_memory_curve(vit_small_config(num_classes=10),
+                                    budget_mb=PAPER_BUDGETS_MB["vit-small"],
+                                    device_counts=(10,))
+        assert rows[0]["per_model_mb"] == pytest.approx(2.58, rel=0.15)
+
+
+class TestCommunication:
+    def test_reduction_reaches_294x(self):
+        rows = communication_rows()
+        ten = next(r for r in rows if r["devices"] == 10)
+        assert ten["reduction_x"] == pytest.approx(294.0, rel=0.01)
+
+    def test_feature_bytes_monotone_nonincreasing(self):
+        rows = communication_rows()
+        sizes = [r["feature_bytes"] for r in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_transfer_under_10ms(self):
+        rows = communication_rows()
+        assert all(r["transfer_ms"] < 10 for r in rows)
+
+
+class TestDeploymentForPoint:
+    def test_round_robin_placement(self):
+        point = plan_split(vit_base_config(num_classes=10), 3, 10, 180,
+                           "paper")
+        spec = deployment_for_point(point, num_classes=10)
+        assert len(set(spec.placement.values())) == 3
+
+
+class TestTrainedAccuracyCurve:
+    def test_accuracy_curve_minimal(self):
+        """The trained harness runs end-to-end at minimal scale."""
+        from repro.core.experiments import TrainedExperimentConfig, accuracy_curve
+        from repro.data import cifar10_like
+
+        ds = cifar10_like(image_size=16, train_per_class=12, test_per_class=6)
+        cfg = TrainedExperimentConfig(train_epochs=3, prune_probe=6,
+                                      retrain_epochs=1, fusion_epochs=3)
+        rows = accuracy_curve(ds, cfg, device_counts=(1, 2), budget_mb=10.0)
+        assert [r["devices"] for r in rows] == [1, 2]
+        for row in rows:
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert row["total_memory_mb"] > 0

@@ -1,0 +1,84 @@
+"""Network-model tests, anchored to Section V-D's communication numbers."""
+
+import pytest
+
+from repro.edge.network import (
+    LinkModel,
+    RAW_IMAGE_BYTES,
+    StarTopology,
+    TC_CAP_BPS,
+    communication_reduction,
+    feature_bytes,
+    gigabit_link,
+    tc_capped_link,
+    uniform_star,
+)
+
+
+class TestPaperAnchors:
+    def test_raw_image_is_150528_bytes(self):
+        assert RAW_IMAGE_BYTES == 150528
+
+    def test_feature_bytes_single_device(self):
+        # ViT-Base pruned to half heads: d'=384 -> 1536 B (paper Section V-D).
+        assert feature_bytes(384) == 1536
+
+    def test_feature_bytes_ten_devices(self):
+        # d'=128 -> 512 B.
+        assert feature_bytes(128) == 512
+
+    def test_294x_reduction_at_ten_devices(self):
+        assert communication_reduction(feature_bytes(128)) == pytest.approx(294.0)
+
+    def test_transfer_time_under_2mbps_is_milliseconds(self):
+        # The paper reports a max per-device communication time of 5.86 ms;
+        # 1536 B over 2 Mbps is 6.1 ms of serialization.
+        t = tc_capped_link().transfer_seconds(feature_bytes(384))
+        assert 0.004 < t < 0.008
+
+
+class TestLinkModel:
+    def test_zero_bytes_is_free(self):
+        assert tc_capped_link().transfer_seconds(0) == 0.0
+
+    def test_negative_bytes_raises(self):
+        with pytest.raises(ValueError):
+            tc_capped_link().transfer_seconds(-1)
+
+    def test_serialization_time_linear(self):
+        link = LinkModel(bandwidth_bps=1e6, overhead_seconds=0.0)
+        assert link.transfer_seconds(1000) == pytest.approx(0.008)
+        assert link.transfer_seconds(2000) == pytest.approx(0.016)
+
+    def test_gigabit_much_faster_than_capped(self):
+        payload = 10_000
+        assert (gigabit_link().transfer_seconds(payload)
+                < tc_capped_link().transfer_seconds(payload))
+
+    def test_tc_cap_value(self):
+        assert TC_CAP_BPS == 2_000_000
+        assert tc_capped_link().bandwidth_bps == TC_CAP_BPS
+
+
+class TestTopology:
+    def test_uniform_star_links_all_devices(self):
+        topo = uniform_star(["a", "b"])
+        assert topo.transfer_seconds("a", 100) == topo.transfer_seconds("b", 100)
+
+    def test_unknown_device_raises(self):
+        topo = uniform_star(["a"])
+        with pytest.raises(KeyError):
+            topo.transfer_seconds("ghost", 10)
+
+    def test_switch_latency_added(self):
+        base = uniform_star(["a"])
+        slow = StarTopology(device_links=base.device_links,
+                            switch_latency_seconds=0.5)
+        assert (slow.transfer_seconds("a", 100)
+                == pytest.approx(base.transfer_seconds("a", 100) + 0.5))
+
+    def test_heterogeneous_links(self):
+        topo = StarTopology(device_links={"fast": gigabit_link(),
+                                          "slow": tc_capped_link()})
+        assert (topo.transfer_seconds("fast", 1000)
+                < topo.transfer_seconds("slow", 1000))

@@ -1,0 +1,130 @@
+"""Process-based edge-emulation tests.
+
+These spawn real OS processes; models are kept minuscule so the suite
+stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.edge.device import DeviceModel
+from repro.edge.network import LinkModel
+from repro.edge.runtime import EdgeCluster, WorkerSpec
+from repro.models.fusion import build_fusion_for
+from repro.models.vit import ViTConfig, VisionTransformer
+
+
+def tiny_model(num_classes=3, seed=0):
+    cfg = ViTConfig(image_size=8, patch_size=4, num_classes=num_classes,
+                    depth=1, embed_dim=8, num_heads=2)
+    return VisionTransformer(cfg, rng=np.random.default_rng(seed))
+
+
+def fast_device(device_id):
+    return DeviceModel(device_id=device_id, macs_per_second=1e12)
+
+
+def make_worker(worker_id, seed=0):
+    model = tiny_model(seed=seed)
+    return WorkerSpec.from_vit(worker_id, model, flops_per_sample=1e6,
+                               device=fast_device(worker_id),
+                               link=LinkModel(bandwidth_bps=1e9,
+                                              overhead_seconds=0.0)), model
+
+
+@pytest.fixture(scope="module")
+def cluster_and_models():
+    specs_models = [make_worker(f"w{i}", seed=i) for i in range(2)]
+    specs = [sm[0] for sm in specs_models]
+    models = [sm[1] for sm in specs_models]
+    cluster = EdgeCluster(specs, time_scale=0.0)
+    cluster.start()
+    yield cluster, models
+    cluster.shutdown()
+
+
+class TestEdgeCluster:
+    def test_features_match_local_models(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        x = np.random.default_rng(0).normal(size=(3, 3, 8, 8)).astype(np.float32)
+        features, _ = cluster.infer_features(x)
+        for i, model in enumerate(models):
+            model.eval()
+            with nn.no_grad():
+                local = model.forward_features(nn.Tensor(x)).data
+            np.testing.assert_allclose(features[f"w{i}"], local, atol=1e-5)
+
+    def test_timing_report_fields(self, cluster_and_models):
+        cluster, _ = cluster_and_models
+        x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+        _, timing = cluster.infer_features(x)
+        assert timing.wall_seconds > 0
+        assert set(timing.per_worker) == {"w0", "w1"}
+        for report in timing.per_worker.values():
+            assert report["emulated_compute_s"] > 0
+            assert report["emulated_transfer_s"] > 0
+
+    def test_emulated_critical_path(self, cluster_and_models):
+        cluster, _ = cluster_and_models
+        x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+        _, timing = cluster.infer_features(x)
+        per = timing.per_worker["w0"]
+        assert timing.emulated_critical_path >= (per["emulated_compute_s"]
+                                                 + per["emulated_transfer_s"])
+
+    def test_fused_inference(self, cluster_and_models):
+        cluster, models = cluster_and_models
+        fusion = build_fusion_for([m.feature_dim() for m in models],
+                                  num_classes=5)
+        x = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        pred, _ = cluster.infer_fused(x, fusion)
+        assert pred.shape == (4,)
+        assert set(pred).issubset(set(range(5)))
+
+    def test_multiple_inferences_same_cluster(self, cluster_and_models):
+        cluster, _ = cluster_and_models
+        x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+        a, _ = cluster.infer_features(x)
+        b, _ = cluster.infer_features(x)
+        np.testing.assert_allclose(a["w0"], b["w0"])
+
+    def test_infer_before_start_raises(self):
+        spec, _ = make_worker("solo")
+        cluster = EdgeCluster([spec])
+        with pytest.raises(RuntimeError):
+            cluster.infer_features(np.zeros((1, 3, 8, 8), dtype=np.float32))
+
+    def test_duplicate_worker_ids_raise(self):
+        spec, _ = make_worker("dup")
+        with pytest.raises(ValueError):
+            EdgeCluster([spec, spec])
+
+    def test_empty_worker_list_raises(self):
+        with pytest.raises(ValueError):
+            EdgeCluster([])
+
+
+class TestContextManager:
+    def test_with_block_starts_and_stops(self):
+        spec, model = make_worker("ctx")
+        with EdgeCluster([spec]) as cluster:
+            x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+            features, _ = cluster.infer_features(x)
+            assert "ctx" in features
+        # After exit, a new cluster can be built from the same spec.
+        with EdgeCluster([spec]) as cluster:
+            cluster.infer_features(x)
+
+    def test_time_scale_slows_inference(self):
+        spec, _ = make_worker("slow")
+        # 1e6 MACs at 1e7 MACs/s = 0.1 s emulated; time_scale=1 sleeps it.
+        spec.device = DeviceModel(device_id="slow", macs_per_second=1e7)
+        with EdgeCluster([spec], time_scale=1.0) as cluster:
+            import time
+
+            x = np.zeros((1, 3, 8, 8), dtype=np.float32)
+            start = time.perf_counter()
+            cluster.infer_features(x)
+            elapsed = time.perf_counter() - start
+        assert elapsed >= 0.08

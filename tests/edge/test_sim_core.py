@@ -1,0 +1,113 @@
+"""Discrete-event kernel tests."""
+
+import pytest
+
+from repro.edge.sim_core import Barrier, FifoResource, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_ties_broken_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.schedule(2.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [3.0]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+
+
+class TestFifoResource:
+    def test_sequential_requests_queue(self):
+        sim = Simulator()
+        res = FifoResource(sim, "cpu")
+        assert res.acquire(2.0) == 2.0
+        assert res.acquire(3.0) == 5.0  # queued behind the first
+
+    def test_acquire_after_idle_starts_now(self):
+        sim = Simulator()
+        res = FifoResource(sim, "cpu")
+        res.acquire(1.0)
+        done = []
+        sim.schedule(5.0, lambda: done.append(res.acquire(1.0)))
+        sim.run()
+        assert done == [6.0]
+
+    def test_busy_accounting(self):
+        sim = Simulator()
+        res = FifoResource(sim, "cpu")
+        res.acquire(2.0)
+        res.acquire(3.0)
+        assert res.busy_seconds == 5.0
+        assert res.served == 2
+
+    def test_utilization(self):
+        sim = Simulator()
+        res = FifoResource(sim, "cpu")
+        res.acquire(5.0)
+        assert res.utilization(10.0) == pytest.approx(0.5)
+        assert res.utilization(0.0) == 0.0
+
+    def test_negative_service_raises(self):
+        with pytest.raises(ValueError):
+            FifoResource(Simulator(), "cpu").acquire(-1.0)
+
+
+class TestBarrier:
+    def test_fires_after_expected_arrivals(self):
+        fired = []
+        barrier = Barrier(3, lambda: fired.append(True))
+        barrier.arrive()
+        barrier.arrive()
+        assert not fired
+        barrier.arrive()
+        assert fired == [True]
+
+    def test_extra_arrival_raises(self):
+        barrier = Barrier(1, lambda: None)
+        barrier.arrive()
+        with pytest.raises(RuntimeError):
+            barrier.arrive()
+
+    def test_zero_expected_raises(self):
+        with pytest.raises(ValueError):
+            Barrier(0, lambda: None)

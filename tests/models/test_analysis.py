@@ -1,0 +1,106 @@
+"""Attention-analysis tool tests."""
+
+import numpy as np
+import pytest
+
+from repro.models.analysis import (
+    attention_entropy,
+    attention_rollout,
+    cls_attention_map,
+    collect_attention_maps,
+    head_importance_profile,
+)
+from repro.models.vit import ViTConfig, VisionTransformer
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    cfg = ViTConfig(image_size=16, patch_size=4, num_classes=5, depth=3,
+                    embed_dim=16, num_heads=2)
+    m = VisionTransformer(cfg, rng=np.random.default_rng(1))
+    m.eval()
+    return m
+
+
+@pytest.fixture(scope="module")
+def x():
+    return RNG.normal(size=(2, 3, 16, 16)).astype(np.float32)
+
+
+class TestAttentionMaps:
+    def test_one_map_per_block(self, model, x):
+        maps = collect_attention_maps(model, x)
+        assert len(maps) == 3
+        assert all(m.shape == (2, 2, 17, 17) for m in maps)
+
+    def test_maps_are_distributions(self, model, x):
+        for attn in collect_attention_maps(model, x):
+            np.testing.assert_allclose(attn.sum(axis=-1), 1.0, rtol=1e-4)
+            assert (attn >= 0).all()
+
+    def test_cls_map_shape(self, model, x):
+        cls = cls_attention_map(model, x)
+        assert cls.shape == (2, 16)
+        assert (cls >= 0).all()
+
+    def test_cls_map_block_selection(self, model, x):
+        first = cls_attention_map(model, x, block_index=0)
+        last = cls_attention_map(model, x, block_index=-1)
+        assert not np.allclose(first, last)
+
+
+class TestEntropy:
+    def test_shape(self, model, x):
+        ent = attention_entropy(model, x)
+        assert ent.shape == (3, 2)
+
+    def test_bounded_by_log_p(self, model, x):
+        ent = attention_entropy(model, x)
+        assert (ent >= 0).all()
+        assert (ent <= np.log(17) + 1e-6).all()
+
+
+class TestRollout:
+    def test_shape_and_normalization(self, model, x):
+        roll = attention_rollout(model, x)
+        assert roll.shape == (2, 16)
+        np.testing.assert_allclose(roll.sum(axis=-1), 1.0, rtol=1e-6)
+        assert (roll >= 0).all()
+
+    def test_max_fusion(self, model, x):
+        roll = attention_rollout(model, x, head_fusion="max")
+        assert roll.shape == (2, 16)
+
+    def test_unknown_fusion_raises(self, model, x):
+        with pytest.raises(ValueError):
+            attention_rollout(model, x, head_fusion="median")
+
+    def test_differs_from_single_block_cls(self, model, x):
+        roll = attention_rollout(model, x)
+        single = cls_attention_map(model, x, block_index=0)
+        single = single / single.sum(axis=-1, keepdims=True)
+        assert not np.allclose(roll, single, atol=1e-3)
+
+
+class TestHeadImportance:
+    def test_shape_and_positive(self, model, x):
+        prof = head_importance_profile(model, x)
+        assert prof.shape == (3, 2)
+        assert (prof > 0).all()
+
+    def test_zeroed_head_values_score_zero(self, model, x):
+        import copy
+
+        cfg = model.config
+        clone = VisionTransformer(cfg, rng=np.random.default_rng(1))
+        clone.load_state_dict(model.state_dict())
+        clone.eval()
+        a = cfg.resolved_attn_dim
+        # Zero the V rows of head 0 in block 0.
+        clone.blocks[0].attn.qkv.weight.data[2 * a:2 * a + cfg.head_dim] = 0.0
+        clone.blocks[0].attn.qkv.bias.data[2 * a:2 * a + cfg.head_dim] = 0.0
+        prof = head_importance_profile(clone, x)
+        assert prof[0, 0] == pytest.approx(0.0, abs=1e-8)
+        assert prof[0, 1] > 0

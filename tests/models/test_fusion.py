@@ -1,0 +1,61 @@
+"""Fusion MLP tests (Section IV-E)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models.fusion import FusionConfig, FusionMLP, build_fusion_for
+
+RNG = np.random.default_rng(0)
+
+
+class TestFusionConfig:
+    def test_hidden_dim_uses_shrink(self):
+        cfg = FusionConfig(input_dim=100, num_classes=10, shrink=0.5)
+        assert cfg.hidden_dim == 50
+
+    def test_paper_default_shrink_is_half(self):
+        assert FusionConfig(input_dim=64, num_classes=10).shrink == 0.5
+
+    def test_hidden_floor(self):
+        assert FusionConfig(input_dim=2, num_classes=2).hidden_dim >= 4
+
+    def test_dict_roundtrip(self):
+        cfg = FusionConfig(input_dim=10, num_classes=3, shrink=0.25)
+        assert FusionConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestFusionMLP:
+    def test_forward_shape(self):
+        mlp = FusionMLP(FusionConfig(input_dim=24, num_classes=7), rng=RNG)
+        assert mlp(nn.Tensor(np.zeros((3, 24), dtype=np.float32))).shape == (3, 7)
+
+    def test_fuse_concatenates(self):
+        mlp = FusionMLP(FusionConfig(input_dim=12, num_classes=4), rng=RNG)
+        parts = [nn.Tensor(RNG.normal(size=(2, 4)).astype(np.float32))
+                 for _ in range(3)]
+        fused = mlp.fuse(parts)
+        direct = mlp(nn.concat(parts, axis=-1))
+        np.testing.assert_allclose(fused.data, direct.data)
+
+    def test_build_fusion_for_sums_dims(self):
+        mlp = build_fusion_for([8, 8, 16], num_classes=5)
+        assert mlp.config.input_dim == 32
+        assert mlp.config.num_classes == 5
+
+    def test_tower_structure_two_layers(self):
+        mlp = build_fusion_for([16], num_classes=3)
+        param_names = {name for name, _ in mlp.named_parameters()}
+        assert param_names == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_trainable(self):
+        mlp = build_fusion_for([8], num_classes=2, rng=RNG)
+        x = RNG.normal(size=(32, 8)).astype(np.float32)
+        y = (x.sum(axis=1) > 0).astype(np.int64)
+        opt = nn.Adam(mlp.parameters(), lr=1e-2)
+        for _ in range(80):
+            loss = nn.cross_entropy(mlp(nn.Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert nn.accuracy(mlp(nn.Tensor(x)), y) > 0.9

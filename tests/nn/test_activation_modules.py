@@ -1,0 +1,100 @@
+"""Activation-module wrappers and remaining module coverage."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import ops
+
+
+RNG = np.random.default_rng(3)
+
+
+class TestActivationModules:
+    def test_gelu_module_matches_functional(self):
+        x = nn.Tensor(RNG.normal(size=(4, 4)).astype(np.float32))
+        np.testing.assert_array_equal(nn.GELU()(x).data, ops.gelu(x).data)
+
+    def test_relu_module_matches_method(self):
+        x = nn.Tensor(RNG.normal(size=(4, 4)).astype(np.float32))
+        np.testing.assert_array_equal(nn.ReLU()(x).data, x.relu().data)
+
+    def test_tanh_module_matches_numpy(self):
+        x = nn.Tensor(RNG.normal(size=(4,)).astype(np.float32))
+        np.testing.assert_allclose(nn.Tanh()(x).data, np.tanh(x.data),
+                                   rtol=1e-6)
+
+    def test_activations_have_no_parameters(self):
+        for module in (nn.GELU(), nn.ReLU(), nn.Tanh(), nn.Identity()):
+            assert module.num_parameters() == 0
+
+
+class TestDropoutSemantics:
+    def test_zero_probability_is_identity_even_in_train(self):
+        drop = nn.Dropout(0.0)
+        x = nn.Tensor(np.ones((8, 8)))
+        assert drop(x) is x
+
+    def test_gradient_flows_through_surviving_units(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = nn.Tensor(np.ones((16, 16), dtype=np.float32),
+                      requires_grad=True)
+        out = drop(x)
+        out.sum().backward()
+        # Gradient is exactly the dropout mask (0 or 1/keep).
+        np.testing.assert_array_equal(x.grad != 0, out.data != 0)
+
+    def test_deterministic_with_seeded_rng(self):
+        x = nn.Tensor(np.ones((8, 8)))
+        a = nn.Dropout(0.5, rng=np.random.default_rng(42))(x).data
+        b = nn.Dropout(0.5, rng=np.random.default_rng(42))(x).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPoolModules:
+    def test_avgpool_module(self):
+        x = nn.Tensor(np.ones((1, 2, 4, 4), dtype=np.float32))
+        out = nn.AvgPool2d(2)(x)
+        assert out.shape == (1, 2, 2, 2)
+        np.testing.assert_allclose(out.data, 1.0)
+
+    def test_maxpool_custom_stride(self):
+        x = nn.Tensor(np.arange(36, dtype=np.float32).reshape(1, 1, 6, 6))
+        out = nn.MaxPool2d(2, stride=2)(x)
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_adaptive_avg_pool_global(self):
+        x = nn.Tensor(RNG.normal(size=(2, 3, 4, 4)).astype(np.float32))
+        out = ops.adaptive_avg_pool2d(x, 1)
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(out.data[..., 0, 0],
+                                   x.data.mean(axis=(2, 3)), rtol=1e-5)
+
+    def test_adaptive_avg_pool_non_global_unsupported(self):
+        x = nn.Tensor(np.zeros((1, 1, 4, 4)))
+        with pytest.raises(NotImplementedError):
+            ops.adaptive_avg_pool2d(x, 2)
+
+
+class TestInitializers:
+    def test_trunc_normal_bounded(self):
+        from repro.nn.init import trunc_normal
+
+        out = trunc_normal(np.random.default_rng(0), (1000,), std=0.02)
+        assert np.abs(out).max() <= 0.04 + 1e-6
+
+    def test_xavier_uniform_bounded(self):
+        from repro.nn.init import xavier_uniform
+
+        out = xavier_uniform(np.random.default_rng(0), (64, 64))
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(out).max() <= bound + 1e-6
+
+    def test_seed_all_resets_default(self):
+        from repro.nn.init import default_rng, seed_all
+
+        seed_all(123)
+        a = default_rng().normal(size=3)
+        seed_all(123)
+        b = default_rng().normal(size=3)
+        np.testing.assert_array_equal(a, b)

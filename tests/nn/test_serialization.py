@@ -1,0 +1,68 @@
+"""Checkpoint and byte-stream serialization tests."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.serialization import (
+    load_checkpoint,
+    save_checkpoint,
+    state_dict_from_bytes,
+    state_dict_num_bytes,
+    state_dict_to_bytes,
+)
+
+
+def test_checkpoint_roundtrip(tmp_path):
+    model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 3))
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(model, path, config={"layers": [4, 8, 3]})
+    state, config = load_checkpoint(path)
+    assert config == {"layers": [4, 8, 3]}
+    clone = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 3))
+    clone.load_state_dict(state)
+    x = nn.Tensor(np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32))
+    np.testing.assert_allclose(model(x).data, clone(x).data)
+
+
+def test_checkpoint_without_config(tmp_path):
+    model = nn.Linear(2, 2)
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(model, path)
+    state, config = load_checkpoint(path)
+    assert config is None
+    assert set(state) == {"weight", "bias"}
+
+
+def test_checkpoint_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "nested" / "ckpt.npz"
+    save_checkpoint(nn.Linear(2, 2), path)
+    assert path.exists()
+
+
+def test_state_dict_num_bytes():
+    model = nn.Linear(4, 4)  # 16 weights + 4 biases, float32
+    assert state_dict_num_bytes(model.state_dict()) == 20 * 4
+
+
+def test_bytes_roundtrip():
+    model = nn.Linear(3, 5)
+    blob = state_dict_to_bytes(model.state_dict())
+    assert isinstance(blob, bytes)
+    restored = state_dict_from_bytes(blob)
+    np.testing.assert_allclose(restored["weight"], model.weight.data)
+    np.testing.assert_allclose(restored["bias"], model.bias.data)
+
+
+def test_vit_checkpoint_roundtrip(tmp_path):
+    from repro.models.vit import ViTConfig, VisionTransformer
+
+    cfg = ViTConfig(image_size=8, patch_size=4, num_classes=3, depth=1,
+                    embed_dim=16, num_heads=2)
+    model = VisionTransformer(cfg, rng=np.random.default_rng(0))
+    path = tmp_path / "vit.npz"
+    save_checkpoint(model, path, config=cfg.to_dict())
+    state, config_dict = load_checkpoint(path)
+    clone = VisionTransformer(ViTConfig.from_dict(config_dict))
+    clone.load_state_dict(state)
+    x = nn.Tensor(np.random.default_rng(1).normal(size=(2, 3, 8, 8)).astype(np.float32))
+    np.testing.assert_allclose(model(x).data, clone(x).data, rtol=1e-5)

@@ -1,0 +1,40 @@
+"""Energy accounting tests."""
+
+import pytest
+
+from repro.models.vit import vit_base_config, vit_small_config
+from repro.profiling import paper_flops
+from repro.profiling.energy import (
+    JOULES_PER_MAC,
+    inference_energy_flops,
+    inference_energy_joules,
+    workload_energy_flops,
+)
+
+
+def test_energy_flops_equals_paper_flops():
+    cfg = vit_base_config()
+    assert inference_energy_flops(cfg) == paper_flops(cfg)
+
+
+def test_workload_scales_linearly():
+    cfg = vit_small_config()
+    assert workload_energy_flops(cfg, 10) == 10 * paper_flops(cfg)
+
+
+def test_joules_positive_and_proportional():
+    small = inference_energy_joules(vit_small_config())
+    base = inference_energy_joules(vit_base_config())
+    assert small > 0
+    assert base / small == pytest.approx(
+        paper_flops(vit_base_config()) / paper_flops(vit_small_config()))
+
+
+def test_physical_scale_plausible_for_pi():
+    # A Pi-4B draws a few watts; ViT-Base at ~37 s should cost O(100) J.
+    joules = inference_energy_joules(vit_base_config())
+    assert 10 < joules < 1000
+
+
+def test_constant_positive():
+    assert JOULES_PER_MAC > 0

@@ -1,0 +1,81 @@
+"""Property tests of the assignment algorithms: any returned plan is
+feasible, and the branch-and-bound optimum dominates greedy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment.greedy import try_greedy_assign
+from repro.assignment.optimal import optimal_assign
+from repro.assignment.problem import (
+    DeviceSpec,
+    InfeasibleAssignment,
+    SubModelSpec,
+    validate_plan,
+)
+
+
+@st.composite
+def instances(draw):
+    num_devices = draw(st.integers(min_value=1, max_value=4))
+    num_models = draw(st.integers(min_value=1, max_value=5))
+    devices = [
+        DeviceSpec(device_id=f"d{i}",
+                   memory_bytes=draw(st.integers(min_value=10, max_value=200)),
+                   energy_flops=float(draw(st.integers(min_value=10,
+                                                       max_value=300))))
+        for i in range(num_devices)]
+    models = [
+        SubModelSpec(model_id=f"m{j}",
+                     size_bytes=draw(st.integers(min_value=1, max_value=80)),
+                     flops_per_sample=float(draw(st.integers(min_value=1,
+                                                             max_value=100))))
+        for j in range(num_models)]
+    return devices, models
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances())
+def test_greedy_plans_are_always_feasible(instance):
+    devices, models = instance
+    plan = try_greedy_assign(devices, models, num_samples=1)
+    if plan is not None:
+        validate_plan(plan, devices, models, num_samples=1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(instances())
+def test_optimal_dominates_greedy(instance):
+    devices, models = instance
+    greedy = try_greedy_assign(devices, models, num_samples=1)
+    if greedy is None:
+        return
+    optimal = optimal_assign(devices, models, num_samples=1)
+    validate_plan(optimal, devices, models, num_samples=1)
+    assert optimal.objective >= greedy.objective - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(instances())
+def test_greedy_finds_plan_when_optimal_does(instance):
+    """Greedy may be suboptimal but on these generous instances it should
+    not claim infeasibility while a trivially-valid plan exists: if every
+    model fits alone on some device with full resources, greedy places it."""
+    devices, models = instance
+    total_flops = sum(m.flops_per_sample for m in models)
+    total_size = sum(m.size_bytes for m in models)
+    fits_everywhere = all(
+        d.memory_bytes >= total_size and d.energy_flops >= total_flops
+        for d in devices)
+    if fits_everywhere:
+        assert try_greedy_assign(devices, models, num_samples=1) is not None
+
+
+@settings(max_examples=50, deadline=None)
+@given(instances(), st.integers(min_value=1, max_value=5))
+def test_feasibility_antitone_in_workload(instance, num_samples):
+    """If a plan exists for L samples, one exists for fewer samples."""
+    devices, models = instance
+    plan_large = try_greedy_assign(devices, models, num_samples=num_samples)
+    if plan_large is not None:
+        assert try_greedy_assign(devices, models, num_samples=1) is not None

@@ -1,0 +1,66 @@
+"""Property tests of class partitioning and the scheduling loop."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.splitting.class_assignment import (
+    balanced_class_partition,
+    unbalanced_class_partition,
+    validate_partition,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_balanced_partition_invariants(num_classes, data):
+    num_groups = data.draw(st.integers(min_value=1, max_value=num_classes))
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    groups = balanced_class_partition(num_classes, num_groups,
+                                      np.random.default_rng(seed))
+    # Exactly-once coverage (the paper's sum_i x_ie = 1 constraint).
+    validate_partition(groups, num_classes)
+    # Balance: |C_a| - |C_b| <= 1 (Algorithm 1 acceptance condition).
+    sizes = [len(g) for g in groups]
+    assert max(sizes) - min(sizes) <= 1
+    assert len(groups) == num_groups
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=2, max_value=40), st.data())
+def test_unbalanced_partition_invariants(num_classes, data):
+    num_groups = data.draw(st.integers(min_value=1, max_value=num_classes))
+    skew = data.draw(st.floats(min_value=1.0, max_value=4.0))
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    groups = unbalanced_class_partition(num_classes, num_groups, skew,
+                                        np.random.default_rng(seed))
+    validate_partition(groups, num_classes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=11),
+       st.integers(min_value=0, max_value=11))
+def test_pruned_dims_monotone_in_hp(hp_small, extra):
+    """More pruned heads never yields a *larger* sub-model."""
+    from repro.models.vit import vit_base_config
+    from repro.pruning.structured import pruned_dims
+    from repro.profiling import vit_param_count
+    from repro.splitting.schedule import submodel_config
+
+    hp_large = min(11, hp_small + extra)
+    base = vit_base_config(num_classes=10)
+    small = vit_param_count(submodel_config(base, hp_large, 10))
+    large = vit_param_count(submodel_config(base, hp_small, 10))
+    assert small <= large
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=11))
+def test_pruned_dims_bounds(hp):
+    from repro.models.vit import vit_base_config
+    from repro.pruning.structured import pruned_dims
+
+    dims = pruned_dims(vit_base_config(), hp)
+    assert 1 <= dims["embed_dim"] <= 768
+    assert dims["attn_dim"] % dims["num_heads"] == 0
+    assert dims["mlp_hidden"] >= 1

@@ -1,0 +1,85 @@
+"""Property tests of pruning surgery: any valid keep-set yields a
+consistent, runnable model whose parameter count matches the analytics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.models.vit import ViTConfig, VisionTransformer
+from repro.profiling import vit_param_count
+from repro.pruning.surgery import (
+    prune_attention_dims,
+    prune_ffn_hidden,
+    prune_residual_channels,
+)
+
+
+def base_model():
+    cfg = ViTConfig(image_size=8, patch_size=4, num_classes=3, depth=2,
+                    embed_dim=12, num_heads=2)
+    return VisionTransformer(cfg, rng=np.random.default_rng(0))
+
+
+@st.composite
+def keep_subset(draw, universe, min_size=1):
+    size = draw(st.integers(min_value=min_size, max_value=universe))
+    idx = draw(st.permutations(range(universe)))
+    return np.sort(np.array(idx[:size]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(keep_subset(universe=12))
+def test_residual_prune_consistency(keep):
+    model = base_model()
+    pruned = prune_residual_channels(model, keep)
+    assert pruned.config.embed_dim == len(keep)
+    assert pruned.num_parameters() == vit_param_count(pruned.config)
+    x = nn.Tensor(np.random.default_rng(1).normal(
+        size=(2, 3, 8, 8)).astype(np.float32))
+    out = pruned(x)
+    assert out.shape == (2, 3)
+    assert np.isfinite(out.data).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.data())
+def test_attention_prune_consistency(kept_dims, data):
+    model = base_model()
+    keep = []
+    for _ in range(2):  # depth
+        block_keep = []
+        for _ in range(2):  # heads
+            idx = data.draw(st.permutations(range(6)))
+            block_keep.append(np.sort(np.array(idx[:kept_dims])))
+        keep.append(block_keep)
+    pruned = prune_attention_dims(model, keep)
+    assert pruned.config.resolved_attn_dim == kept_dims * 2
+    assert pruned.num_parameters() == vit_param_count(pruned.config)
+    x = nn.Tensor(np.random.default_rng(1).normal(
+        size=(1, 3, 8, 8)).astype(np.float32))
+    assert np.isfinite(pruned(x).data).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=48), st.data())
+def test_ffn_prune_consistency(kept, data):
+    model = base_model()
+    keep = []
+    for _ in range(2):
+        idx = data.draw(st.permutations(range(48)))
+        keep.append(np.sort(np.array(idx[:kept])))
+    pruned = prune_ffn_hidden(model, keep)
+    assert pruned.config.resolved_mlp_hidden == kept
+    assert pruned.num_parameters() == vit_param_count(pruned.config)
+    x = nn.Tensor(np.random.default_rng(1).normal(
+        size=(1, 3, 8, 8)).astype(np.float32))
+    assert np.isfinite(pruned(x).data).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(keep_subset(universe=12, min_size=2))
+def test_pruning_never_grows_model(keep):
+    model = base_model()
+    pruned = prune_residual_channels(model, keep)
+    assert pruned.num_parameters() <= model.num_parameters()

@@ -1,0 +1,127 @@
+"""Property-based tests of the autograd core (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import ops
+from repro.nn.tensor import Tensor, concat
+
+FLOATS = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                   width=32)
+
+
+def finite_arrays(max_dims=3, max_side=5):
+    return arrays(dtype=np.float32,
+                  shape=array_shapes(min_dims=1, max_dims=max_dims,
+                                     min_side=1, max_side=max_side),
+                  elements=FLOATS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays())
+def test_add_commutative(x):
+    a, b = Tensor(x), Tensor(x * 0.5 + 1.0)
+    np.testing.assert_allclose((a + b).data, (b + a).data, rtol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays())
+def test_sum_of_grad_of_sum_is_count(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    assert t.grad.sum() == x.size
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays())
+def test_reshape_preserves_sum(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.reshape(-1).sum().item(),
+                               t.sum().item(), rtol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays())
+def test_softmax_is_distribution(x):
+    out = ops.softmax(Tensor(x), axis=-1).data
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-4)
+    assert (out >= 0).all()
+    assert (out <= 1.0 + 1e-6).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays())
+def test_softmax_shift_invariant(x):
+    a = ops.softmax(Tensor(x), axis=-1).data
+    b = ops.softmax(Tensor(x + 100.0), axis=-1).data
+    np.testing.assert_allclose(a, b, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays())
+def test_log_softmax_consistent_with_softmax(x):
+    soft = ops.softmax(Tensor(x), axis=-1).data
+    log_soft = ops.log_softmax(Tensor(x), axis=-1).data
+    np.testing.assert_allclose(np.exp(log_soft), soft, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays())
+def test_relu_idempotent(x):
+    t = Tensor(x)
+    once = t.relu().data
+    twice = t.relu().relu().data
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays())
+def test_gelu_bounded_by_relu(x):
+    gelu = ops.gelu(Tensor(x)).data
+    relu = Tensor(x).relu().data
+    assert (gelu <= relu + 1e-5).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays(max_dims=2))
+def test_concat_then_split_roundtrip(x):
+    t = Tensor(x)
+    joined = concat([t, t], axis=0)
+    assert joined.shape[0] == 2 * x.shape[0]
+    np.testing.assert_array_equal(joined.data[:x.shape[0]], x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays(max_dims=2, max_side=4),
+       st.integers(min_value=1, max_value=4))
+def test_matmul_linear_in_scalar(x, k):
+    if x.ndim != 2:
+        x = x.reshape(x.shape[0], -1)
+    w = np.ones((x.shape[1], 2), dtype=np.float32)
+    a = (Tensor(x * k) @ Tensor(w)).data
+    b = (Tensor(x) @ Tensor(w)).data * k
+    np.testing.assert_allclose(a, b, rtol=1e-3, atol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays(max_dims=2))
+def test_gradient_of_linear_function_is_constant(x):
+    # d/dx (3x + 1).sum() == 3 everywhere, independent of x.
+    t = Tensor(x, requires_grad=True)
+    (t * 3.0 + 1.0).sum().backward()
+    np.testing.assert_allclose(t.grad, 3.0, rtol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays(max_dims=2))
+def test_layer_norm_output_standardized(x):
+    if x.shape[-1] < 4:
+        x = np.repeat(x, 4, axis=-1)
+    # Guard against constant rows (zero variance is fine, just check mean).
+    from repro.nn.modules import LayerNorm
+
+    ln = LayerNorm(x.shape[-1])
+    out = ln(Tensor(x)).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-3)

@@ -1,0 +1,117 @@
+"""Channel (filter) pruning tests for the CNN/SNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models.snn import ConvSNN, SNNConfig
+from repro.models.vgg import VGG, vgg11_tiny_config
+from repro.pruning.channel import (
+    prune_snn,
+    prune_vgg,
+    snn_filter_activations,
+    vgg_filter_activations,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def make_vgg():
+    return VGG(vgg11_tiny_config(num_classes=4, image_size=32,
+                                 width_scale=0.25),
+               rng=np.random.default_rng(1))
+
+
+def make_snn():
+    cfg = SNNConfig(image_size=16, num_classes=4, channels=(8, 8),
+                    time_steps=2, classifier_hidden=16)
+    return ConvSNN(cfg, rng=np.random.default_rng(1))
+
+
+def probe(shape=(4, 3, 32, 32)):
+    return RNG.normal(size=shape).astype(np.float32)
+
+
+class TestVGGActivations:
+    def test_one_score_vector_per_conv(self):
+        model = make_vgg()
+        scores = vgg_filter_activations(model, probe())
+        convs = [m for m in model.features if isinstance(m, nn.Conv2d)]
+        assert len(scores) == len(convs)
+        for s, conv in zip(scores, convs):
+            assert s.shape == (conv.out_channels,)
+
+    def test_scores_nonnegative(self):
+        scores = vgg_filter_activations(make_vgg(), probe())
+        assert all((s >= 0).all() for s in scores)
+
+
+class TestPruneVGG:
+    def test_half_width(self):
+        model = make_vgg()
+        pruned = prune_vgg(model, 0.5, probe())
+        orig_convs = [m for m in model.features if isinstance(m, nn.Conv2d)]
+        new_convs = [m for m in pruned.features if isinstance(m, nn.Conv2d)]
+        for old, new in zip(orig_convs, new_convs):
+            assert new.out_channels == max(1, round(old.out_channels * 0.5))
+
+    def test_forward_after_prune(self):
+        pruned = prune_vgg(make_vgg(), 0.5, probe())
+        out = pruned(nn.Tensor(probe((2, 3, 32, 32))))
+        assert out.shape == (2, 4)
+
+    def test_param_count_shrinks(self):
+        model = make_vgg()
+        pruned = prune_vgg(model, 0.5, probe())
+        assert pruned.num_parameters() < model.num_parameters() / 2
+
+    def test_keep_ratio_one_preserves_function(self):
+        model = make_vgg()
+        model.eval()
+        pruned = prune_vgg(model, 1.0, probe())
+        pruned.eval()
+        x = nn.Tensor(probe((2, 3, 32, 32)))
+        with nn.no_grad():
+            np.testing.assert_allclose(model(x).data, pruned(x).data,
+                                       atol=1e-4)
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            prune_vgg(make_vgg(), 0.0, probe())
+        with pytest.raises(ValueError):
+            prune_vgg(make_vgg(), 1.5, probe())
+
+    def test_trainable_after_prune(self):
+        pruned = prune_vgg(make_vgg(), 0.5, probe())
+        x = nn.Tensor(probe((2, 3, 32, 32)))
+        nn.cross_entropy(pruned(x), np.array([0, 1])).backward()
+        missing = [n for n, p in pruned.named_parameters() if p.grad is None]
+        assert not missing
+
+
+class TestPruneSNN:
+    def test_activations_are_rates(self):
+        model = make_snn()
+        rates = snn_filter_activations(model, probe((4, 3, 16, 16)))
+        assert len(rates) == 2
+        for r in rates:
+            assert (r >= 0).all() and (r <= 1.0 + 1e-6).all()
+
+    def test_half_width(self):
+        model = make_snn()
+        pruned = prune_snn(model, 0.5, probe((4, 3, 16, 16)))
+        assert pruned.config.scaled_channels() == (4, 4)
+
+    def test_forward_after_prune(self):
+        pruned = prune_snn(make_snn(), 0.5, probe((4, 3, 16, 16)))
+        out = pruned(nn.Tensor(probe((2, 3, 16, 16))))
+        assert out.shape == (2, 4)
+
+    def test_param_count_shrinks(self):
+        model = make_snn()
+        pruned = prune_snn(model, 0.5, probe((4, 3, 16, 16)))
+        assert pruned.num_parameters() < model.num_parameters()
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            prune_snn(make_snn(), -0.1, probe((2, 3, 16, 16)))

@@ -1,0 +1,130 @@
+"""Importance-scoring tests: KL LOO behaves like an ablation study."""
+
+import numpy as np
+import pytest
+
+from repro.models.vit import ViTConfig, VisionTransformer
+from repro.pruning.importance import (
+    Probe,
+    _zeroed,
+    kl_attention_importance,
+    kl_ffn_importance,
+    kl_residual_channel_importance,
+    magnitude_attention_importance,
+    magnitude_ffn_importance,
+    magnitude_residual_channel_importance,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def make_model(embed_dim=8, num_heads=2, depth=1):
+    cfg = ViTConfig(image_size=8, patch_size=4, num_classes=3,
+                    depth=depth, embed_dim=embed_dim, num_heads=num_heads)
+    return VisionTransformer(cfg, rng=np.random.default_rng(1))
+
+
+def make_probe(model, n=8):
+    x = RNG.normal(size=(n, 3, 8, 8)).astype(np.float32)
+    return Probe.from_model(model, x)
+
+
+class TestZeroedContext:
+    def test_restores_values(self):
+        model = make_model()
+        param = model.patch_embed.proj.weight
+        before = param.data.copy()
+        with _zeroed([(param, (0,))]):
+            assert (param.data[0] == 0).all()
+        np.testing.assert_array_equal(param.data, before)
+
+    def test_restores_on_exception(self):
+        model = make_model()
+        param = model.patch_embed.proj.bias
+        before = param.data.copy()
+        with pytest.raises(RuntimeError):
+            with _zeroed([(param, (slice(None),))]):
+                raise RuntimeError("boom")
+        np.testing.assert_array_equal(param.data, before)
+
+
+class TestKLScores:
+    def test_residual_shape_and_nonnegative(self):
+        model = make_model()
+        scores = kl_residual_channel_importance(model, make_probe(model))
+        assert scores.shape == (8,)
+        assert (scores >= 0).all()
+
+    def test_attention_shape(self):
+        model = make_model()
+        scores = kl_attention_importance(model, make_probe(model))
+        assert scores.shape == (1, 2, 4)
+        assert (scores >= 0).all()
+
+    def test_ffn_shape(self):
+        model = make_model()
+        scores = kl_ffn_importance(model, make_probe(model))
+        assert scores.shape == (1, 32)
+        assert (scores >= 0).all()
+
+    def test_dead_ffn_unit_scores_zero(self):
+        # A unit whose fc2 column is already zero contributes nothing:
+        # its removal KL must be ~0 while live units score higher.
+        model = make_model()
+        for block in model.blocks:
+            block.mlp.fc2.weight.data[:, 0] = 0.0
+        scores = kl_ffn_importance(model, make_probe(model))
+        assert scores[0, 0] == pytest.approx(0.0, abs=1e-8)
+        assert scores[0].max() > scores[0, 0]
+
+    def test_dead_attention_unit_scores_zero(self):
+        model = make_model()
+        a = model.config.resolved_attn_dim
+        for block in model.blocks:
+            # Zero q,k,v rows and proj column of unit (head 0, dim 0).
+            for row in (0, a, 2 * a):
+                block.attn.qkv.weight.data[row] = 0.0
+                block.attn.qkv.bias.data[row] = 0.0
+            block.attn.proj.weight.data[:, 0] = 0.0
+        scores = kl_attention_importance(model, make_probe(model))
+        assert scores[0, 0, 0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_scores_change_with_probe(self):
+        model = make_model()
+        s1 = kl_residual_channel_importance(model, make_probe(model, n=4))
+        x2 = RNG.normal(size=(4, 3, 8, 8)).astype(np.float32) * 3.0
+        s2 = kl_residual_channel_importance(model, Probe.from_model(model, x2))
+        assert not np.allclose(s1, s2)
+
+
+class TestMagnitudeScores:
+    def test_residual_shape(self):
+        scores = magnitude_residual_channel_importance(make_model())
+        assert scores.shape == (8,)
+        assert (scores > 0).all()
+
+    def test_attention_shape(self):
+        scores = magnitude_attention_importance(make_model())
+        assert scores.shape == (1, 2, 4)
+
+    def test_ffn_shape(self):
+        scores = magnitude_ffn_importance(make_model())
+        assert scores.shape == (1, 32)
+
+    def test_zeroed_unit_has_zero_magnitude(self):
+        model = make_model()
+        a = model.config.resolved_attn_dim
+        block = model.blocks[0]
+        for row in (0, a, 2 * a):
+            block.attn.qkv.weight.data[row] = 0.0
+        block.attn.proj.weight.data[:, 0] = 0.0
+        scores = magnitude_attention_importance(model)
+        assert scores[0, 0, 0] == pytest.approx(0.0)
+
+
+class TestProbe:
+    def test_reference_is_distribution(self):
+        model = make_model()
+        probe = make_probe(model)
+        np.testing.assert_allclose(probe.reference.sum(axis=-1), 1.0, rtol=1e-4)
+        assert (probe.reference >= 0).all()

@@ -1,0 +1,111 @@
+"""Stage-function tests: pruning factors, target dims, backend selection."""
+
+import numpy as np
+import pytest
+
+from repro.models.vit import ViTConfig, VisionTransformer, vit_base_config
+from repro.pruning.importance import Probe
+from repro.pruning.structured import (
+    prune_ffn,
+    prune_mhsa,
+    prune_short_connection,
+    pruned_dims,
+    pruning_factor,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def make_model(embed_dim=16, num_heads=4, depth=2):
+    cfg = ViTConfig(image_size=8, patch_size=4, num_classes=4,
+                    depth=depth, embed_dim=embed_dim, num_heads=num_heads)
+    return VisionTransformer(cfg, rng=np.random.default_rng(2))
+
+
+def make_probe(model):
+    x = RNG.normal(size=(6, 3, 8, 8)).astype(np.float32)
+    return Probe.from_model(model, x)
+
+
+class TestPruningFactor:
+    def test_half_heads(self):
+        assert pruning_factor(12, 6) == pytest.approx(0.5)
+
+    def test_no_pruning(self):
+        assert pruning_factor(12, 0) == pytest.approx(1.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            pruning_factor(12, 12)
+        with pytest.raises(ValueError):
+            pruning_factor(12, -1)
+
+
+class TestPrunedDims:
+    def test_vit_base_half(self):
+        dims = pruned_dims(vit_base_config(), hp=6)
+        assert dims == {"embed_dim": 384, "attn_dim": 384,
+                        "mlp_hidden": 1536, "num_heads": 12}
+
+    def test_vit_base_n10_schedule(self):
+        # hp=10 keeps 2/12: d'=128, c'=512 (the paper's 9.6 MB sub-model).
+        dims = pruned_dims(vit_base_config(), hp=10)
+        assert dims["embed_dim"] == 128
+        assert dims["mlp_hidden"] == 512
+
+    def test_minimum_of_one(self):
+        cfg = ViTConfig(image_size=8, patch_size=4, depth=1, embed_dim=4,
+                        num_heads=4, num_classes=2)
+        dims = pruned_dims(cfg, hp=3)
+        assert dims["embed_dim"] >= 1
+        assert dims["attn_dim"] >= cfg.num_heads  # one dim per head
+
+
+class TestStageFunctions:
+    @pytest.mark.parametrize("backend", ["kl", "magnitude"])
+    def test_stage1_dims(self, backend):
+        model = make_model()
+        probe = make_probe(model) if backend == "kl" else None
+        pruned = prune_short_connection(model, hp=2, probe=probe,
+                                        backend=backend)
+        assert pruned.config.embed_dim == 8
+
+    @pytest.mark.parametrize("backend", ["kl", "magnitude"])
+    def test_stage2_dims(self, backend):
+        model = make_model()
+        probe = make_probe(model) if backend == "kl" else None
+        pruned = prune_mhsa(model, hp=2, probe=probe, backend=backend)
+        assert pruned.config.resolved_attn_dim == 8
+        assert pruned.config.num_heads == 4
+
+    @pytest.mark.parametrize("backend", ["kl", "magnitude"])
+    def test_stage3_dims(self, backend):
+        model = make_model()
+        probe = make_probe(model) if backend == "kl" else None
+        pruned = prune_ffn(model, hp=2, probe=probe, backend=backend)
+        assert pruned.config.resolved_mlp_hidden == 32
+
+    def test_kl_without_probe_raises(self):
+        with pytest.raises(ValueError):
+            prune_short_connection(make_model(), hp=2, probe=None, backend="kl")
+
+    def test_stage1_keeps_most_important_channels(self):
+        # Make one channel dominate the output; it must survive pruning.
+        model = make_model()
+        scores_before = None
+        model.head.weight.data[:] = 0.0
+        model.head.weight.data[:, 5] = np.linspace(-2, 2, 4)
+        probe = make_probe(model)
+        pruned = prune_short_connection(model, hp=3, probe=probe, backend="kl")
+        # channel 5's weights must appear in the pruned head (nonzero cols).
+        assert np.abs(pruned.head.weight.data).sum() > 0
+
+    def test_stages_match_analytic_dims(self):
+        model = make_model()
+        dims = pruned_dims(model.config, hp=1)
+        m1 = prune_short_connection(model, 1, backend="magnitude")
+        assert m1.config.embed_dim == dims["embed_dim"]
+        m2 = prune_mhsa(m1, 1, backend="magnitude")
+        assert m2.config.resolved_attn_dim == dims["attn_dim"]
+        m3 = prune_ffn(m2, 1, backend="magnitude")
+        assert m3.config.resolved_mlp_hidden == dims["mlp_hidden"]

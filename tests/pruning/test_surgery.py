@@ -1,0 +1,184 @@
+"""Weight-surgery tests.
+
+The strongest invariants: keeping *all* units must reproduce the original
+model exactly, and keeping a subset must equal a model where the dropped
+units never existed (checked against masking for attention/FFN).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models.vit import ViTConfig, VisionTransformer
+from repro.pruning.surgery import (
+    prune_attention_dims,
+    prune_ffn_hidden,
+    prune_residual_channels,
+    replace_classifier_head,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def make_model(embed_dim=16, num_heads=2, depth=2, num_classes=5):
+    cfg = ViTConfig(image_size=8, patch_size=4, num_classes=num_classes,
+                    depth=depth, embed_dim=embed_dim, num_heads=num_heads)
+    return VisionTransformer(cfg, rng=np.random.default_rng(3))
+
+
+def sample_input(n=2, channels=3):
+    return nn.Tensor(RNG.normal(size=(n, channels, 8, 8)).astype(np.float32))
+
+
+def outputs(model, x):
+    model.eval()
+    with nn.no_grad():
+        return model(x).data.copy()
+
+
+class TestResidualChannelSurgery:
+    def test_keep_all_is_identity(self):
+        model = make_model()
+        pruned = prune_residual_channels(model, np.arange(16))
+        x = sample_input()
+        np.testing.assert_allclose(outputs(model, x), outputs(pruned, x),
+                                   atol=1e-5)
+
+    def test_shapes_after_prune(self):
+        pruned = prune_residual_channels(make_model(), np.arange(8))
+        assert pruned.config.embed_dim == 8
+        assert pruned.config.resolved_attn_dim == 16  # untouched in stage 1
+        assert pruned.feature_dim() == 8
+
+    def test_forward_works_after_prune(self):
+        pruned = prune_residual_channels(make_model(), np.arange(8))
+        assert pruned(sample_input()).shape == (2, 5)
+
+    def test_duplicate_indices_raise(self):
+        with pytest.raises(ValueError):
+            prune_residual_channels(make_model(), np.array([0, 0, 1]))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            prune_residual_channels(make_model(), np.array([0, 99]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            prune_residual_channels(make_model(), np.array([], dtype=int))
+
+    def test_param_count_shrinks(self):
+        model = make_model()
+        pruned = prune_residual_channels(model, np.arange(8))
+        assert pruned.num_parameters() < model.num_parameters()
+
+    def test_does_not_mutate_original(self):
+        model = make_model()
+        before = model.patch_embed.proj.weight.data.copy()
+        prune_residual_channels(model, np.arange(8))
+        np.testing.assert_array_equal(model.patch_embed.proj.weight.data, before)
+
+
+class TestAttentionSurgery:
+    def test_keep_all_is_identity(self):
+        model = make_model()
+        keep = [[np.arange(8) for _ in range(2)] for _ in range(2)]
+        pruned = prune_attention_dims(model, keep)
+        x = sample_input()
+        np.testing.assert_allclose(outputs(model, x), outputs(pruned, x),
+                                   atol=1e-5)
+
+    def test_target_dims(self):
+        model = make_model()
+        keep = [[np.arange(4) for _ in range(2)] for _ in range(2)]
+        pruned = prune_attention_dims(model, keep)
+        assert pruned.config.resolved_attn_dim == 8
+        assert pruned.config.embed_dim == 16
+        assert pruned.config.head_dim == 4
+
+    def test_unequal_head_counts_raise(self):
+        model = make_model()
+        keep = [[np.arange(4), np.arange(3)] for _ in range(2)]
+        with pytest.raises(ValueError):
+            prune_attention_dims(model, keep)
+
+    def test_wrong_depth_raises(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            prune_attention_dims(model, [[np.arange(4), np.arange(4)]])
+
+    def test_wrong_head_count_raises(self):
+        model = make_model()
+        keep = [[np.arange(4)] for _ in range(2)]  # only 1 of 2 heads
+        with pytest.raises(ValueError):
+            prune_attention_dims(model, keep)
+
+    def test_scale_adjusts_to_new_head_dim(self):
+        model = make_model()
+        keep = [[np.arange(4) for _ in range(2)] for _ in range(2)]
+        pruned = prune_attention_dims(model, keep)
+        assert pruned.blocks[0].attn.scale == pytest.approx(1.0 / 2.0)
+
+
+class TestFFNSurgery:
+    def test_keep_all_is_identity(self):
+        model = make_model()
+        keep = [np.arange(64) for _ in range(2)]
+        pruned = prune_ffn_hidden(model, keep)
+        x = sample_input()
+        np.testing.assert_allclose(outputs(model, x), outputs(pruned, x),
+                                   atol=1e-5)
+
+    def test_pruned_equals_masked(self):
+        # Dropping FFN units must equal zeroing their fc1 rows/bias and
+        # fc2 columns (gelu(0) == 0 makes this exact).
+        model = make_model()
+        keep = [np.arange(0, 64, 2) for _ in range(2)]
+        pruned = prune_ffn_hidden(model, keep)
+        masked = make_model()
+        masked.load_state_dict(model.state_dict())
+        for b, block in enumerate(masked.blocks):
+            drop = np.setdiff1d(np.arange(64), keep[b])
+            block.mlp.fc1.weight.data[drop] = 0.0
+            block.mlp.fc1.bias.data[drop] = 0.0
+            block.mlp.fc2.weight.data[:, drop] = 0.0
+        x = sample_input()
+        np.testing.assert_allclose(outputs(masked, x), outputs(pruned, x),
+                                   atol=1e-5)
+
+    def test_target_dims(self):
+        model = make_model()
+        pruned = prune_ffn_hidden(model, [np.arange(16) for _ in range(2)])
+        assert pruned.config.resolved_mlp_hidden == 16
+
+    def test_unequal_block_widths_raise(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            prune_ffn_hidden(model, [np.arange(16), np.arange(8)])
+
+
+class TestReplaceHead:
+    def test_new_head_shape(self):
+        new = replace_classifier_head(make_model(num_classes=5), 3)
+        assert new.config.num_classes == 3
+        assert new.head.weight.shape == (3, 16)
+
+    def test_features_preserved(self):
+        model = make_model()
+        new = replace_classifier_head(model, 3)
+        x = sample_input()
+        model.eval(); new.eval()
+        with nn.no_grad():
+            np.testing.assert_allclose(model.forward_features(x).data,
+                                       new.forward_features(x).data, atol=1e-5)
+
+    def test_chained_stages_compose(self):
+        # stage1 -> stage2 -> stage3 produces a consistent runnable model.
+        model = make_model()
+        m1 = prune_residual_channels(model, np.arange(12))
+        keep2 = [[np.arange(6) for _ in range(2)] for _ in range(2)]
+        m2 = prune_attention_dims(m1, keep2)
+        m3 = prune_ffn_hidden(m2, [np.arange(32) for _ in range(2)])
+        assert m3.config.embed_dim == 12
+        assert m3.config.resolved_attn_dim == 12
+        assert m3.config.resolved_mlp_hidden == 32
+        assert m3(sample_input()).shape == (2, 5)

@@ -1,0 +1,87 @@
+"""Class-partition tests (Algorithm 1 lines 3–6)."""
+
+import numpy as np
+import pytest
+
+from repro.splitting.class_assignment import (
+    balanced_class_partition,
+    unbalanced_class_partition,
+    validate_partition,
+)
+
+
+class TestBalancedPartition:
+    def test_covers_all_classes(self):
+        groups = balanced_class_partition(10, 3, np.random.default_rng(0))
+        assert sorted(c for g in groups for c in g) == list(range(10))
+
+    def test_balance_invariant(self):
+        for n in (1, 2, 3, 5, 10):
+            groups = balanced_class_partition(10, n, np.random.default_rng(1))
+            sizes = [len(g) for g in groups]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_single_group(self):
+        groups = balanced_class_partition(10, 1)
+        assert groups == [list(range(10))]
+
+    def test_one_class_per_group(self):
+        groups = balanced_class_partition(5, 5)
+        assert all(len(g) == 1 for g in groups)
+
+    def test_more_groups_than_classes_raises(self):
+        with pytest.raises(ValueError):
+            balanced_class_partition(3, 5)
+
+    def test_zero_groups_raises(self):
+        with pytest.raises(ValueError):
+            balanced_class_partition(3, 0)
+
+    def test_randomized_by_rng(self):
+        a = balanced_class_partition(10, 2, np.random.default_rng(0))
+        b = balanced_class_partition(10, 2, np.random.default_rng(99))
+        assert a != b
+
+    def test_deterministic_given_rng(self):
+        a = balanced_class_partition(10, 2, np.random.default_rng(5))
+        b = balanced_class_partition(10, 2, np.random.default_rng(5))
+        assert a == b
+
+
+class TestUnbalancedPartition:
+    def test_covers_all_classes(self):
+        groups = unbalanced_class_partition(12, 3, skew=2.0,
+                                            rng=np.random.default_rng(0))
+        assert sorted(c for g in groups for c in g) == list(range(12))
+
+    def test_actually_skewed(self):
+        groups = unbalanced_class_partition(16, 3, skew=3.0,
+                                            rng=np.random.default_rng(0))
+        sizes = sorted(len(g) for g in groups)
+        assert sizes[-1] - sizes[0] >= 2
+
+    def test_no_empty_groups(self):
+        groups = unbalanced_class_partition(5, 4, skew=5.0,
+                                            rng=np.random.default_rng(0))
+        assert all(groups)
+
+    def test_more_groups_than_classes_raises(self):
+        with pytest.raises(ValueError):
+            unbalanced_class_partition(3, 4)
+
+
+class TestValidatePartition:
+    def test_accepts_valid(self):
+        validate_partition([[0, 1], [2]], 3)
+
+    def test_rejects_missing_class(self):
+        with pytest.raises(ValueError):
+            validate_partition([[0], [1]], 3)
+
+    def test_rejects_duplicate_class(self):
+        with pytest.raises(ValueError):
+            validate_partition([[0, 1], [1, 2]], 3)
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            validate_partition([[0, 1, 2], []], 3)
