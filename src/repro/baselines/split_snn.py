@@ -20,6 +20,7 @@ from ..pruning.channel import prune_snn
 from ..splitting.class_assignment import balanced_class_partition
 from ..splitting.fusion import (
     fused_accuracy,
+    fused_predict,
     softmax_average_accuracy,
     train_fusion_mlp,
 )
@@ -51,6 +52,10 @@ class SplitSNNSystem:
     fusion: FusionMLP
     partition: list[list[int]]
     num_classes: int
+
+    def predict(self, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Fused class predictions via the batched graph-free engine."""
+        return fused_predict(self.submodels, self.fusion, x, batch_size)
 
     def accuracy(self, dataset: Dataset) -> float:
         return fused_accuracy(self.submodels, self.fusion, dataset)

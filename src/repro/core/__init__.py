@@ -1,28 +1,35 @@
-"""ED-ViT core: orchestrator, training loops, metrics, experiment harness."""
+"""ED-ViT core: orchestrator, training loops, inference engine, metrics,
+experiment harness."""
 
 from .edvit import EDViTConfig, EDViTSystem, build_edvit
-from .metrics import format_mean_std, format_table, mean_std, ratio
-from .training import (
-    TrainConfig,
-    TrainResult,
+from .inference import (
+    benchmark_forward,
     evaluate,
     extract_features,
+    iter_batches,
+    predict,
+    predict_labels,
     predict_logits,
     predict_probabilities,
-    train_classifier,
 )
+from .metrics import format_mean_std, format_table, mean_std, ratio
+from .training import TrainConfig, TrainResult, train_classifier
 
 __all__ = [
     "EDViTConfig",
     "EDViTSystem",
     "TrainConfig",
     "TrainResult",
+    "benchmark_forward",
     "build_edvit",
     "evaluate",
     "extract_features",
     "format_mean_std",
     "format_table",
+    "iter_batches",
     "mean_std",
+    "predict",
+    "predict_labels",
     "predict_logits",
     "predict_probabilities",
     "ratio",

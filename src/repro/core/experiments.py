@@ -290,6 +290,40 @@ def train_base_model(dataset: Dataset, cfg: TrainedExperimentConfig,
     return model
 
 
+def runtime_speedup_rows(config: ViTConfig | None = None, *,
+                         batch_size: int = 1, repeats: int = 3,
+                         seed: int = 0) -> list[dict]:
+    """Engineering table: per-mode forward latency of the inference engine.
+
+    Compares the autograd graph-building forward against the graph-free
+    ``no_grad`` path and the workspace-cached ``inference_mode`` path on
+    one model, asserting nothing.  (The CI perf-smoke job is the separate
+    ``benchmarks/bench_runtime_micro.py --smoke``, which additionally
+    replays the seed op set as its baseline and uses min-of-N timing;
+    this function is the library-level mean-latency counterpart.)
+    """
+    from .inference import benchmark_forward
+
+    config = config or vit_base_config(num_classes=10)
+    model = VisionTransformer(config, rng=np.random.default_rng(seed))
+    x = np.random.default_rng(seed).normal(
+        size=(batch_size, config.in_channels, config.image_size,
+              config.image_size)).astype(np.float32)
+    rows = []
+    graph_s = benchmark_forward(model, x, repeats=repeats, mode="graph")
+    for mode in ("graph", "no_grad", "inference"):
+        mode_s = (graph_s if mode == "graph"
+                  else benchmark_forward(model, x, repeats=repeats, mode=mode))
+        rows.append({
+            "model": config.name,
+            "mode": mode,
+            "batch": batch_size,
+            "latency_s": mode_s,
+            "speedup_vs_graph": graph_s / mode_s,
+        })
+    return rows
+
+
 def accuracy_curve(dataset: Dataset, cfg: TrainedExperimentConfig,
                    device_counts: tuple[int, ...] = PAPER_DEVICE_COUNTS,
                    budget_mb: float = 10.0) -> list[dict]:

@@ -84,38 +84,21 @@ def train_classifier(model: nn.Module, x: np.ndarray, y: np.ndarray,
     return TrainResult(losses, accuracies, time.perf_counter() - start)
 
 
-def evaluate(model: nn.Module, x: np.ndarray, y: np.ndarray,
-             batch_size: int = 64) -> float:
-    """Top-1 test accuracy."""
-    return float((predict_logits(model, x, batch_size).argmax(axis=-1) == y).mean())
+# Batched graph-free inference lives in repro.core.inference; these
+# re-exports keep the original training-module surface intact.
+from .inference import (  # noqa: E402  (re-export)
+    evaluate,
+    extract_features,
+    predict_logits,
+    predict_probabilities,
+)
 
-
-def predict_logits(model: nn.Module, x: np.ndarray,
-                   batch_size: int = 64) -> np.ndarray:
-    """Forward the whole array in eval mode without building a graph."""
-    model.eval()
-    outputs = []
-    with nn.no_grad():
-        for start in range(0, len(x), batch_size):
-            logits = model(nn.Tensor(x[start:start + batch_size]))
-            outputs.append(logits.data.copy())
-    return np.concatenate(outputs, axis=0)
-
-
-def predict_probabilities(model: nn.Module, x: np.ndarray,
-                          batch_size: int = 64) -> np.ndarray:
-    logits = predict_logits(model, x, batch_size)
-    shifted = logits - logits.max(axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
-
-
-def extract_features(model, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
-    """Run ``model.forward_features`` in eval mode (sub-model feature maps)."""
-    model.eval()
-    outputs = []
-    with nn.no_grad():
-        for start in range(0, len(x), batch_size):
-            feats = model.forward_features(nn.Tensor(x[start:start + batch_size]))
-            outputs.append(feats.data.copy())
-    return np.concatenate(outputs, axis=0)
+__all__ = [
+    "TrainConfig",
+    "TrainResult",
+    "evaluate",
+    "extract_features",
+    "predict_logits",
+    "predict_probabilities",
+    "train_classifier",
+]

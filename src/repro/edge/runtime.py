@@ -37,11 +37,13 @@ class WorkerSpec:
     flops_per_sample: float
     device: DeviceModel
     link: LinkModel
+    batch_size: int = 64               # forward chunk size inside the worker
 
     @staticmethod
     def from_vit(worker_id: str, model: VisionTransformer,
                  flops_per_sample: float, device: DeviceModel,
-                 link: LinkModel | None = None) -> "WorkerSpec":
+                 link: LinkModel | None = None,
+                 batch_size: int = 64) -> "WorkerSpec":
         return WorkerSpec(
             worker_id=worker_id,
             model_kind="vit",
@@ -50,6 +52,7 @@ class WorkerSpec:
             flops_per_sample=flops_per_sample,
             device=device,
             link=link or tc_capped_link(),
+            batch_size=batch_size,
         )
 
 
@@ -61,6 +64,8 @@ def _build_model(kind: str, config: dict) -> nn.Module:
 
 def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
     """Entry point of an emulated device process."""
+    from ..core.inference import extract_features
+
     model = _build_model(spec.model_kind, spec.model_config)
     model.load_state_dict(nn.state_dict_from_bytes(spec.state_blob))
     model.eval()
@@ -76,8 +81,11 @@ def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
             continue
         x = message[1]
         wall_start = time.perf_counter()
-        with nn.no_grad():
-            features = model.forward_features(nn.Tensor(x)).data.copy()
+        # Batched, graph-free, workspace-cached: repeated requests reuse the
+        # same scratch buffers, which is exactly the long-lived-server shape
+        # of an edge deployment.
+        features = extract_features(model, x, spec.batch_size,
+                                    keep_workspaces=True)
         wall_compute = time.perf_counter() - wall_start
 
         # Emulate the Pi-4B compute time and the tc-capped feature transfer.
@@ -187,8 +195,12 @@ class EdgeCluster:
     def infer_fused(self, x: np.ndarray, fusion: nn.Module) -> tuple[np.ndarray,
                                                                      InferenceTiming]:
         """Full pipeline: scatter -> gather features -> fuse -> predictions."""
+        from ..core.inference import predict
+
         features, timing = self.infer_features(x)
         ordered = [features[s.worker_id] for s in self._specs]
-        with nn.no_grad():
-            logits = fusion(nn.Tensor(np.concatenate(ordered, axis=-1)))
-        return logits.data.argmax(axis=-1), timing
+        # Long-lived serving path: keep the fusion MLP's scratch warm across
+        # requests, mirroring the workers' keep_workspaces=True.
+        logits = predict(fusion, np.concatenate(ordered, axis=-1),
+                         keep_workspaces=True)
+        return logits.argmax(axis=-1), timing

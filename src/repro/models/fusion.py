@@ -54,6 +54,12 @@ class FusionMLP(nn.Module):
         """Concatenate per-device features then classify."""
         return self.forward(concat(per_device_features, axis=-1))
 
+    def predict(self, features: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Batched raw-array logits via the graph-free inference engine."""
+        from ..core.inference import predict as _predict
+
+        return _predict(self, features, batch_size)
+
 
 def build_fusion_for(feature_dims: list[int], num_classes: int,
                      shrink: float = 0.5,

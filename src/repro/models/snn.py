@@ -19,7 +19,8 @@ import dataclasses
 import numpy as np
 
 from .. import nn
-from ..nn.tensor import Tensor
+from ..nn.backend import get_backend
+from ..nn.tensor import Tensor, is_grad_enabled
 
 
 def spike_fn(membrane: Tensor, threshold: float = 1.0,
@@ -31,7 +32,12 @@ def spike_fn(membrane: Tensor, threshold: float = 1.0,
     """
     v = membrane.data
     spikes = (v >= threshold).astype(v.dtype)
-    surrogate = surrogate_scale / (1.0 + surrogate_scale * np.abs(v - threshold)) ** 2
+    if not is_grad_enabled():
+        # Graph-free path: no surrogate, no closure.
+        return Tensor._noback(spikes)
+    backend = get_backend()
+    diff = backend.abs(v - threshold)
+    surrogate = surrogate_scale / (1.0 + surrogate_scale * diff) ** 2
 
     def backward(grad):
         return [(membrane, grad * surrogate)]

@@ -98,15 +98,16 @@ class VGG(nn.Module):
             nn.ReLU(),
             nn.Linear(hidden, config.num_classes, rng=rng),
         )
+        # Pre-split classifier views (parameters stay registered under
+        # ``classifier`` so state-dict keys are unchanged): the penultimate
+        # stack feeds the fusion device, the last layer produces logits.
+        self._feature_head = list(self.classifier)[1:-1]
 
     def forward_features(self, x: nn.Tensor) -> nn.Tensor:
         """Penultimate activations transmitted to the fusion device."""
         feat = self.features(x)
-        flat = nn.ops.flatten(feat, 1)
-        # Run all classifier layers except the final logits layer.
-        layers = list(self.classifier)[1:-1]
-        out = flat
-        for layer in layers:
+        out = nn.ops.flatten(feat, 1)
+        for layer in self._feature_head:
             out = layer(out)
         return out
 

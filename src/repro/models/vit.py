@@ -26,7 +26,8 @@ import numpy as np
 
 from .. import nn
 from ..nn import ops
-from ..nn.tensor import Tensor, concat
+from ..nn.backend import get_backend
+from ..nn.tensor import Tensor, concat, is_grad_enabled, is_inference
 
 
 @dataclasses.dataclass(frozen=True)
@@ -115,6 +116,8 @@ class MultiHeadSelfAttention(nn.Module):
         self.proj = nn.Linear(attn_dim, embed_dim, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor._noback(self._fused_forward(x.data))
         b, p, _ = x.shape
         h, dh = self.num_heads, self.head_dim
         qkv = self.qkv(x)                              # (B, P, 3*A)
@@ -126,6 +129,32 @@ class MultiHeadSelfAttention(nn.Module):
         out = attn.matmul(v)                           # (B, H, P, dh)
         out = out.transpose(0, 2, 1, 3).reshape(b, p, h * dh)
         return self.proj(out)
+
+    def _fused_forward(self, x):
+        """Graph-free attention on raw arrays: one QKV GEMM, in-place scaled
+        softmax, workspace-cached score/projection buffers."""
+        bk = get_backend()
+        ws = self.workspace if is_inference() else None
+        b, p, _ = x.shape
+        h, dh = self.num_heads, self.head_dim
+        qkv = bk.linear(
+            x, self.qkv.weight.data, self.qkv.bias.data,
+            out=None if ws is None else ws.buffer(
+                "qkv", (b, p, 3 * self.attn_dim), x.dtype))
+        qkv = qkv.reshape(b, p, 3, h, dh).transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scores = bk.matmul(
+            q, k.swapaxes(-1, -2),
+            out=None if ws is None else ws.buffer("scores", (b, h, p, p),
+                                                  x.dtype))
+        scores *= self.scale
+        bk.softmax(scores, axis=-1, out=scores)
+        ctx = bk.matmul(scores, v)                     # (B, H, P, dh)
+        ctx = bk.ascontiguous(ctx.transpose(0, 2, 1, 3)).reshape(b, p, h * dh)
+        return bk.linear(
+            ctx, self.proj.weight.data, self.proj.bias.data,
+            out=None if ws is None else ws.buffer("proj", (b, p, self.embed_dim),
+                                                  x.dtype))
 
     def attention_weights(self, x: Tensor) -> np.ndarray:
         """Return softmax attention maps (B, H, P, P) without building a graph."""
@@ -148,7 +177,7 @@ class FeedForward(nn.Module):
         self.fc2 = nn.Linear(hidden_dim, embed_dim, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        return self.fc2(ops.gelu(self.fc1(x)))
+        return self.fc2(ops.gelu(self.fc1(x), self.workspace))
 
 
 class Block(nn.Module):
@@ -163,8 +192,24 @@ class Block(nn.Module):
         self.mlp = FeedForward(config.embed_dim, config.resolved_mlp_hidden, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor._noback(self._fused_forward(x.data))
         x = x + self.attn(self.norm1(x))
         x = x + self.mlp(self.norm2(x))
+        return x
+
+    def _fused_forward(self, x):
+        """Graph-free block forward on raw arrays with in-place residuals.
+
+        The second residual accumulates in place into the array freshly
+        allocated by the first, so each block allocates exactly one
+        residual-stream array; everything else lives in module workspaces
+        under ``inference_mode()``.
+        """
+        h1 = self.norm1(Tensor._noback(x))
+        x = x + self.attn._fused_forward(h1.data)
+        h2 = self.norm2(Tensor._noback(x))
+        x += self.mlp(h2).data
         return x
 
 
@@ -189,6 +234,13 @@ class VisionTransformer(nn.Module):
     def _embed(self, x: Tensor) -> Tensor:
         tokens = self.patch_embed(x)                    # (B, P, D)
         b = tokens.shape[0]
+        if not is_grad_enabled():
+            bk = get_backend()
+            cls = bk.broadcast_to(self.cls_token.data,
+                                  (b, 1, self.config.embed_dim))
+            data = bk.concatenate([cls, tokens.data], axis=1)
+            data += self.pos_embed.data
+            return self.dropout(Tensor._noback(data))
         cls = self.cls_token + nn.zeros((b, 1, self.config.embed_dim))
         tokens = concat([cls, tokens], axis=1)
         return self.dropout(tokens + self.pos_embed)

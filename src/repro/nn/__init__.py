@@ -7,9 +7,38 @@ Public surface::
     layer = nn.Linear(2, 3)
     loss = nn.cross_entropy(layer(x), np.array([1]))
     loss.backward()
+
+Execution is layered:
+
+* **Autograd graph** (:mod:`repro.nn.tensor`): every op records a backward
+  closure; call ``.backward()`` on a scalar loss.  This is the training
+  path.
+* **Graph-free fast path**: inside ``nn.no_grad()`` or
+  ``nn.inference_mode()`` ops skip closure allocation entirely and return
+  bare tensors.  ``inference_mode()`` additionally lets modules reuse
+  shape-keyed scratch buffers (:class:`~repro.nn.backend.Workspace`), so
+  outputs may alias internal storage until the next forward call — copy
+  what you keep (``repro.core.predict`` does).
+* **Array backend** (:mod:`repro.nn.backend`): all primitive array math
+  (matmul, einsum, im2col convolution, reductions, fused
+  softmax/layernorm/GELU kernels) is routed through a pluggable
+  :class:`~repro.nn.backend.ArrayBackend`.  Select with
+  ``nn.set_backend(...)`` / ``nn.use_backend(...)`` or the
+  ``REPRO_BACKEND`` environment variable; register new engines with
+  ``nn.register_backend``.
 """
 
 from . import init, ops
+from .backend import (
+    ArrayBackend,
+    NumpyBackend,
+    Workspace,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from .losses import accuracy, cross_entropy, kl_divergence, mse
 from .modules import (
     AvgPool2d,
@@ -37,10 +66,23 @@ from .serialization import (
     state_dict_num_bytes,
     state_dict_to_bytes,
 )
-from .tensor import Tensor, as_tensor, concat, no_grad, ones, stack, where, zeros
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    inference_mode,
+    is_grad_enabled,
+    is_inference,
+    no_grad,
+    ones,
+    stack,
+    where,
+    zeros,
+)
 
 __all__ = [
     "Adam",
+    "ArrayBackend",
     "AvgPool2d",
     "BatchNorm2d",
     "Conv2d",
@@ -54,6 +96,7 @@ __all__ = [
     "MaxPool2d",
     "Module",
     "ModuleList",
+    "NumpyBackend",
     "Optimizer",
     "Parameter",
     "ReLU",
@@ -61,23 +104,32 @@ __all__ = [
     "Sequential",
     "Tanh",
     "Tensor",
+    "Workspace",
     "accuracy",
     "as_tensor",
+    "available_backends",
     "clip_grad_norm",
     "concat",
     "cross_entropy",
+    "get_backend",
+    "inference_mode",
     "init",
+    "is_grad_enabled",
+    "is_inference",
     "kl_divergence",
     "load_checkpoint",
     "mse",
     "no_grad",
     "ones",
     "ops",
+    "register_backend",
     "save_checkpoint",
+    "set_backend",
     "stack",
     "state_dict_from_bytes",
     "state_dict_num_bytes",
     "state_dict_to_bytes",
+    "use_backend",
     "where",
     "zeros",
 ]

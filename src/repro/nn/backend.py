@@ -1,0 +1,423 @@
+"""Array-ops backend layer: the seam between autograd and raw array math.
+
+Every numerical primitive the framework needs — matmuls, einsums, the
+im2col convolution lowering, reductions, elementwise transcendentals, RNG —
+is routed through an :class:`ArrayBackend` instance instead of calling
+``numpy`` directly from op code.  This mirrors the thin-wrapper design of
+the original ``autograd`` package (``autograd.numpy`` re-exports the array
+namespace and the differentiation machinery never touches it directly): the
+differentiation rules in :mod:`repro.nn.ops` compose *named primitives*, so
+an alternative backend (BLAS-threaded, fused-kernel, GPU, ...) can be
+plugged in by implementing this surface and registering it.
+
+Selection::
+
+    from repro import nn
+    nn.set_backend("numpy")            # by registered name
+    nn.set_backend(MyBackend())        # or an instance
+    with nn.use_backend("numpy"):      # scoped override
+        ...
+
+The ``REPRO_BACKEND`` environment variable picks the initial backend at
+import time (default ``"numpy"``).
+
+Workspaces
+----------
+:class:`Workspace` is a shape-keyed cache of pre-allocated scratch buffers
+(im2col columns, attention score matrices, MLP hidden activations).  Modules
+own one workspace each; ops accept it optionally and only *reuse* buffers
+while :func:`repro.nn.tensor.is_inference` is true.  Invariants:
+
+* a buffer is keyed by ``(tag, shape, dtype)`` — same key, same storage;
+* a buffer's contents are only valid until the owning module's next
+  forward call: under ``inference_mode()`` outputs may alias workspace
+  storage, so callers must copy anything they keep across calls
+  (:func:`repro.core.predict` does);
+* under plain ``no_grad()`` (without ``inference_mode()``) every op output
+  is freshly allocated, so seed semantics are unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+import threading
+from typing import Callable
+
+import numpy as np
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+class Workspace:
+    """Cache of pre-allocated scratch storage for the inference fast path.
+
+    Storage is **per thread** (concurrent inference on a shared model must
+    not write into the same scratch — the mode flags in
+    :mod:`repro.nn.tensor` are thread-local for the same reason) and keyed
+    by ``(tag, dtype)``: each tag owns one flat grow-on-demand allocation,
+    and :meth:`buffer` returns a contiguous view of the requested shape.
+    Memory per tag is therefore bounded by the largest request seen, no
+    matter how many distinct (e.g. ragged-final-batch) shapes pass through.
+    """
+
+    __slots__ = ("_local",)
+
+    def __init__(self):
+        self._local = threading.local()
+
+    def _storage(self) -> dict[tuple, np.ndarray]:
+        store = getattr(self._local, "store", None)
+        if store is None:
+            store = self._local.store = {}
+        return store
+
+    def buffer(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A contiguous scratch view of ``shape``; contents unspecified.
+
+        Views handed out for the same tag share (and overwrite) the same
+        storage — valid only until the owner's next request for that tag.
+        """
+        dt = np.dtype(dtype)
+        key = (tag, dt.str)
+        need = 1
+        for dim in shape:
+            need *= int(dim)
+        store = self._storage()
+        flat = store.get(key)
+        if flat is None or flat.size < need:
+            flat = np.empty(need, dtype=dt)
+            store[key] = flat
+        return flat[:need].reshape(shape)
+
+    def clear(self) -> None:
+        """Release this thread's scratch storage."""
+        self._storage().clear()
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._storage().values())
+
+    def __len__(self) -> int:
+        return len(self._storage())
+
+
+def scratch(workspace: Workspace | None, tag: str, shape, dtype) -> np.ndarray:
+    """A buffer from ``workspace`` when caching is active, else a fresh array.
+
+    Ops call this for their fast-path outputs/scratch; passing ``None`` (or
+    running outside ``inference_mode()``, which is how modules decide whether
+    to hand their workspace down) degrades to plain allocation.
+    """
+    if workspace is None:
+        return np.empty(shape, dtype=dtype)
+    return workspace.buffer(tag, shape, dtype)
+
+
+class ArrayBackend:
+    """Abstract array-primitive surface.
+
+    :class:`NumpyBackend` is the reference implementation; subclasses may
+    override any subset (e.g. just ``matmul``/``einsum`` for a BLAS-tuned
+    variant) since the base class implements everything over numpy already.
+    Methods accept and return plain ``np.ndarray`` — Tensors never cross
+    this boundary.
+    """
+
+    name = "abstract"
+
+    # -- creation / casting ------------------------------------------------
+    def asarray(self, value, dtype=None) -> np.ndarray:
+        return np.asarray(value, dtype=dtype)
+
+    def empty(self, shape, dtype=np.float32) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype=np.float32) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def ones(self, shape, dtype=np.float32) -> np.ndarray:
+        return np.ones(shape, dtype=dtype)
+
+    def zeros_like(self, x) -> np.ndarray:
+        return np.zeros_like(x)
+
+    def ones_like(self, x) -> np.ndarray:
+        return np.ones_like(x)
+
+    def arange(self, n, dtype=None) -> np.ndarray:
+        return np.arange(n, dtype=dtype)
+
+    def rng(self, seed=None) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    # -- linear algebra ----------------------------------------------------
+    def matmul(self, a, b, out=None) -> np.ndarray:
+        return np.matmul(a, b, out=out)
+
+    def einsum(self, spec, *operands) -> np.ndarray:
+        return np.einsum(spec, *operands, optimize=True)
+
+    def linear(self, x, weight, bias=None, out=None) -> np.ndarray:
+        """Affine map ``x @ weight.T + bias`` collapsed to one GEMM.
+
+        ``x`` may have arbitrary leading dimensions; ``weight`` is stored
+        ``(out_features, in_features)`` as in ``torch.nn.Linear``.
+        """
+        lead = x.shape[:-1]
+        x2 = np.ascontiguousarray(x.reshape(-1, x.shape[-1]))
+        out2 = out.reshape(-1, weight.shape[0]) if out is not None else None
+        y = np.matmul(x2, weight.T, out=out2)
+        if bias is not None:
+            y += bias
+        return y.reshape(lead + (weight.shape[0],))
+
+    # -- elementwise -------------------------------------------------------
+    def exp(self, x, out=None) -> np.ndarray:
+        return np.exp(x, out=out)
+
+    def log(self, x, out=None) -> np.ndarray:
+        return np.log(x, out=out)
+
+    def sqrt(self, x, out=None) -> np.ndarray:
+        return np.sqrt(x, out=out)
+
+    def tanh(self, x, out=None) -> np.ndarray:
+        return np.tanh(x, out=out)
+
+    def sigmoid(self, x, out=None) -> np.ndarray:
+        out = np.negative(x, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        return np.divide(1.0, out, out=out)
+
+    def relu(self, x, out=None) -> np.ndarray:
+        return np.maximum(x, 0.0, out=out)
+
+    def abs(self, x) -> np.ndarray:
+        return np.abs(x)
+
+    def sign(self, x) -> np.ndarray:
+        return np.sign(x)
+
+    def clip(self, x, lo, hi) -> np.ndarray:
+        return np.clip(x, lo, hi)
+
+    def maximum(self, a, b) -> np.ndarray:
+        return np.maximum(a, b)
+
+    def where(self, cond, a, b) -> np.ndarray:
+        return np.where(cond, a, b)
+
+    def gelu(self, x, out=None) -> np.ndarray:
+        """Tanh-approximation GELU, fused and cube-by-multiplication.
+
+        ``x ** 3`` hits numpy's generic float pow (~70x slower than two
+        multiplies for float32), so the cube is computed as ``x*x*x``.
+        """
+        buf = np.multiply(x, x, out=out)
+        buf *= x
+        buf *= 0.044715
+        buf += x
+        buf *= _SQRT_2_OVER_PI
+        np.tanh(buf, out=buf)
+        buf += 1.0
+        buf *= x
+        buf *= 0.5
+        return buf
+
+    # -- reductions --------------------------------------------------------
+    def sum(self, x, axis=None, keepdims=False) -> np.ndarray:
+        return x.sum(axis=axis, keepdims=keepdims)
+
+    def mean(self, x, axis=None, keepdims=False) -> np.ndarray:
+        return x.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, x, axis=None, keepdims=False) -> np.ndarray:
+        return x.max(axis=axis, keepdims=keepdims)
+
+    def argmax(self, x, axis=None) -> np.ndarray:
+        return x.argmax(axis=axis)
+
+    def prod(self, values) -> float:
+        return float(np.prod(values))
+
+    # -- shape / indexing --------------------------------------------------
+    def pad(self, x, pad_width) -> np.ndarray:
+        return np.pad(x, pad_width)
+
+    def concatenate(self, arrays, axis=0) -> np.ndarray:
+        return np.concatenate(arrays, axis=axis)
+
+    def stack(self, arrays, axis=0) -> np.ndarray:
+        return np.stack(arrays, axis=axis)
+
+    def split(self, x, sections, axis=0) -> list[np.ndarray]:
+        return np.split(x, sections, axis=axis)
+
+    def squeeze(self, x, axis=None) -> np.ndarray:
+        return np.squeeze(x, axis=axis)
+
+    def expand_dims(self, x, axis) -> np.ndarray:
+        return np.expand_dims(x, axis)
+
+    def broadcast_to(self, x, shape) -> np.ndarray:
+        return np.broadcast_to(x, shape)
+
+    def ascontiguous(self, x) -> np.ndarray:
+        return np.ascontiguousarray(x)
+
+    def take_along_axis(self, x, indices, axis) -> np.ndarray:
+        return np.take_along_axis(x, indices, axis=axis)
+
+    def put_along_axis(self, x, indices, values, axis) -> None:
+        np.put_along_axis(x, indices, values, axis=axis)
+
+    def index_add(self, target, key, values) -> None:
+        """Scatter-add ``values`` into ``target[key]`` (duplicate-safe)."""
+        np.add.at(target, key, values)
+
+    def one_hot(self, labels, num_classes: int, dtype=np.float32) -> np.ndarray:
+        labels = np.asarray(labels, dtype=np.int64)
+        out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+        out[np.arange(labels.shape[0]), labels] = 1.0
+        return out
+
+    # -- fused normalization / softmax kernels -----------------------------
+    def softmax(self, x, axis=-1, out=None) -> np.ndarray:
+        shifted = np.subtract(x, x.max(axis=axis, keepdims=True), out=out)
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=axis, keepdims=True)
+        return shifted
+
+    def log_softmax(self, x, axis=-1, out=None) -> np.ndarray:
+        shifted = np.subtract(x, x.max(axis=axis, keepdims=True), out=out)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        shifted -= log_sum
+        return shifted
+
+    def layer_norm(self, x, weight, bias, eps: float, out=None) -> np.ndarray:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = np.subtract(x, mu, out=out)
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        var += eps
+        np.sqrt(var, out=var)
+        centered /= var
+        centered *= weight
+        centered += bias
+        return centered
+
+    def batch_norm_stats(self, x, axes) -> tuple[np.ndarray, np.ndarray]:
+        return x.mean(axis=axes, keepdims=True), x.var(axis=axes, keepdims=True)
+
+    # -- convolution lowering ----------------------------------------------
+    def conv_im2col(self, x, kh: int, kw: int, stride: int, pad: int,
+                    out=None) -> tuple[np.ndarray, int, int]:
+        """Lower (N, C, H, W) to receptive-field columns.
+
+        Returns ``(cols, out_h, out_w)`` with ``cols`` of shape
+        ``(N, C*kh*kw, out_h*out_w)``.  ``out`` (from a workspace) receives
+        the gathered columns to avoid reallocating per call.
+        """
+        n, c, h, w = x.shape
+        if pad:
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        out_h = (h + 2 * pad - kh) // stride + 1
+        out_w = (w + 2 * pad - kw) // stride + 1
+        s = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, kh, kw),
+            strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+            writeable=False,
+        )
+        transposed = windows.transpose(0, 1, 4, 5, 2, 3)
+        shape = (n, c * kh * kw, out_h * out_w)
+        if out is not None:
+            cols = out
+            np.copyto(cols.reshape(n, c, kh, kw, out_h, out_w), transposed)
+        else:
+            cols = np.ascontiguousarray(transposed).reshape(shape)
+        return cols.reshape(shape), out_h, out_w
+
+    def col2im(self, cols, x_shape, kh: int, kw: int, stride: int,
+               pad: int) -> np.ndarray:
+        """Scatter-add columns back onto the input; inverse of conv_im2col."""
+        n, c, h, w = x_shape
+        padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+        out_h = (h + 2 * pad - kh) // stride + 1
+        out_w = (w + 2 * pad - kw) // stride + 1
+        cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+        for i in range(kh):
+            for j in range(kw):
+                padded[:, :, i:i + stride * out_h:stride,
+                       j:j + stride * out_w:stride] += cols[:, :, i, j]
+        if pad:
+            return padded[:, :, pad:-pad, pad:-pad]
+        return padded
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: plain numpy with the fused kernels above."""
+
+    name = "numpy"
+
+
+# ----------------------------------------------------------------------
+# Registry and selection
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[], ArrayBackend]] = {"numpy": NumpyBackend}
+_state = threading.local()
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a backend factory under ``name`` for :func:`set_backend`."""
+    if not callable(factory):
+        raise TypeError("factory must be callable")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def _resolve(backend: str | ArrayBackend) -> ArrayBackend:
+    if isinstance(backend, ArrayBackend):
+        return backend
+    if backend not in _REGISTRY:
+        raise KeyError(
+            f"unknown backend {backend!r}; registered: {available_backends()}")
+    return _REGISTRY[backend]()
+
+
+_default_backend: ArrayBackend = _resolve(os.environ.get("REPRO_BACKEND", "numpy"))
+
+
+def set_backend(backend: str | ArrayBackend) -> ArrayBackend:
+    """Install the process-wide default backend (name or instance)."""
+    global _default_backend
+    _default_backend = _resolve(backend)
+    return _default_backend
+
+
+def get_backend() -> ArrayBackend:
+    """The active backend: innermost :func:`use_backend` override, else the
+    process default."""
+    override = getattr(_state, "stack", None)
+    if override:
+        return override[-1]
+    return _default_backend
+
+
+@contextlib.contextmanager
+def use_backend(backend: str | ArrayBackend):
+    """Scoped (and thread-local) backend override."""
+    resolved = _resolve(backend)
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    stack.append(resolved)
+    try:
+        yield resolved
+    finally:
+        stack.pop()

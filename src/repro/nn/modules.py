@@ -12,6 +12,7 @@ from typing import Iterator
 import numpy as np
 
 from . import init, ops
+from .backend import Workspace
 from .tensor import Tensor
 
 
@@ -44,6 +45,30 @@ class Module:
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         self._buffers[name] = value
         object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Inference workspace (scratch-buffer cache for the graph-free path)
+    # ------------------------------------------------------------------
+    @property
+    def workspace(self) -> Workspace:
+        """Lazily-created scratch cache handed to ops under ``inference_mode()``.
+
+        Not part of the state dict; buffers are keyed by (tag, shape, dtype)
+        and reused across forward calls — see :mod:`repro.nn.backend` for the
+        aliasing invariants.
+        """
+        ws = self.__dict__.get("_workspace")
+        if ws is None:
+            ws = Workspace()
+            object.__setattr__(self, "_workspace", ws)
+        return ws
+
+    def clear_workspaces(self) -> None:
+        """Drop every cached scratch buffer in this module tree."""
+        for module in self.modules():
+            ws = module.__dict__.get("_workspace")
+            if ws is not None:
+                ws.clear()
 
     # ------------------------------------------------------------------
     # Traversal
@@ -158,7 +183,7 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
-        return ops.linear(x, self.weight, self.bias)
+        return ops.linear(x, self.weight, self.bias, self.workspace)
 
     def __repr__(self):
         return f"Linear(in={self.in_features}, out={self.out_features})"
@@ -175,7 +200,7 @@ class LayerNorm(Module):
         self.bias = Parameter(np.zeros(normalized_shape, dtype=np.float32))
 
     def forward(self, x: Tensor) -> Tensor:
-        return ops.layer_norm(x, self.weight, self.bias, self.eps)
+        return ops.layer_norm(x, self.weight, self.bias, self.eps, self.workspace)
 
     def __repr__(self):
         return f"LayerNorm({self.normalized_shape})"
@@ -205,7 +230,8 @@ class Conv2d(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
-        return ops.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+        return ops.conv2d(x, self.weight, self.bias, self.stride, self.padding,
+                          self.workspace)
 
     def __repr__(self):
         return (f"Conv2d({self.in_channels}, {self.out_channels}, "
@@ -240,7 +266,7 @@ class MaxPool2d(Module):
         self.stride = stride or kernel_size
 
     def forward(self, x: Tensor) -> Tensor:
-        return ops.max_pool2d(x, self.kernel_size, self.stride)
+        return ops.max_pool2d(x, self.kernel_size, self.stride, self.workspace)
 
 
 class AvgPool2d(Module):
@@ -252,7 +278,7 @@ class AvgPool2d(Module):
         self.stride = stride or kernel_size
 
     def forward(self, x: Tensor) -> Tensor:
-        return ops.avg_pool2d(x, self.kernel_size, self.stride)
+        return ops.avg_pool2d(x, self.kernel_size, self.stride, self.workspace)
 
 
 class Dropout(Module):

@@ -7,37 +7,84 @@ computation graph.  Calling :meth:`Tensor.backward` on a scalar output
 performs a topological sort of the graph and accumulates gradients into
 every tensor created with ``requires_grad=True``.
 
-The design goals are correctness and clarity, not raw speed: every op has a
-hand-written backward rule, and the test-suite checks each rule against
-numerical differentiation (see ``tests/nn/test_grad_check.py``).
+The design goals are correctness and clarity for the *differentiated* path
+— every op has a hand-written backward rule checked against numerical
+differentiation (see ``tests/nn/test_gradcheck.py``) — plus a **graph-free
+fast path** for inference: whenever gradients are disabled (``no_grad()``
+or ``inference_mode()``), ops return bare result tensors without allocating
+backward closures or retaining parents, and the heavy functional ops in
+:mod:`repro.nn.ops` route through the pluggable array backend
+(:mod:`repro.nn.backend`) with pre-allocated workspaces.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 DEFAULT_DTYPE = np.float32
 
-_grad_enabled = True
+
+class _ModeState(threading.local):
+    """Per-thread execution-mode flags (mirrors the thread-local backend
+    override in :mod:`repro.nn.backend`): a thread serving inference must
+    not flip another thread's training forwards onto the graph-free path."""
+
+    def __init__(self):
+        self.grad_enabled = True
+        self.inference = False
+
+
+_mode = _ModeState()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph construction (like ``torch.no_grad``)."""
-    global _grad_enabled
-    prev = _grad_enabled
-    _grad_enabled = False
+    """Context manager disabling graph construction (like ``torch.no_grad``).
+
+    Ops run the graph-free fast path but every output is freshly allocated,
+    so results remain valid indefinitely (seed semantics).  To keep that
+    guarantee it also *suspends* workspace reuse when entered inside an
+    active ``inference_mode()``.  Both flags are thread-local.
+    """
+    prev_grad, prev_inf = _mode.grad_enabled, _mode.inference
+    _mode.grad_enabled = False
+    _mode.inference = False
     try:
         yield
     finally:
-        _grad_enabled = prev
+        _mode.grad_enabled, _mode.inference = prev_grad, prev_inf
+
+
+@contextlib.contextmanager
+def inference_mode():
+    """``no_grad`` plus workspace reuse (like ``torch.inference_mode``).
+
+    In addition to skipping graph construction, modules hand their
+    shape-keyed workspaces to the ops layer, so scratch buffers *and op
+    outputs* may alias pre-allocated storage that is overwritten by the
+    module's next forward call.  Copy anything you keep across calls
+    (:func:`repro.core.predict` does).  Nesting is exception-safe: both
+    thread-local flags are restored even if the body raises.
+    """
+    prev_grad, prev_inf = _mode.grad_enabled, _mode.inference
+    _mode.grad_enabled = False
+    _mode.inference = True
+    try:
+        yield
+    finally:
+        _mode.grad_enabled, _mode.inference = prev_grad, prev_inf
 
 
 def is_grad_enabled() -> bool:
-    return _grad_enabled
+    return _mode.grad_enabled
+
+
+def is_inference() -> bool:
+    return _mode.inference
 
 
 def _as_array(value, dtype=None) -> np.ndarray:
@@ -46,7 +93,7 @@ def _as_array(value, dtype=None) -> np.ndarray:
     arr = np.asarray(value, dtype=dtype if dtype is not None else None)
     if arr.dtype == np.float64 and dtype is None:
         arr = arr.astype(DEFAULT_DTYPE)
-    if arr.dtype.kind not in "fiu b":
+    if arr.dtype.kind not in {"f", "i", "u", "b"}:
         arr = arr.astype(DEFAULT_DTYPE)
     return arr
 
@@ -76,7 +123,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, dtype=None, name: str | None = None):
         self.data = _as_array(data, dtype)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.requires_grad = bool(requires_grad) and _mode.grad_enabled
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
@@ -131,6 +178,28 @@ class Tensor:
     # Graph construction
     # ------------------------------------------------------------------
     @staticmethod
+    def _noback(data) -> "Tensor":
+        """Wrap raw data with no graph linkage (the inference fast path).
+
+        Unlike the public constructor there is no dtype convenience cast,
+        and ``data`` may be a view of (or alias into) another array — under
+        ``inference_mode()`` it may even alias a module workspace buffer.
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        out.name = None
+        return out
+
+    @staticmethod
+    def inference_mode():
+        """Alias for :func:`repro.nn.tensor.inference_mode` (torch-style)."""
+        return inference_mode()
+
+    @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         """Create a graph node whose gradient flows to ``parents``.
@@ -139,7 +208,7 @@ class Tensor:
         (no float64 -> float32 convenience cast), so float64 graphs — used
         by gradient checking — stay float64 end to end.
         """
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = _mode.grad_enabled and any(p.requires_grad for p in parents)
         out = Tensor.__new__(Tensor)
         out.data = np.asarray(data)
         out.grad = None
@@ -214,6 +283,8 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data + other.data
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, _unbroadcast(grad, self.shape)),
@@ -226,6 +297,8 @@ class Tensor:
     def __sub__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data - other.data
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, _unbroadcast(grad, self.shape)),
@@ -239,6 +312,8 @@ class Tensor:
     def __mul__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data * other.data
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, _unbroadcast(grad * other.data, self.shape)),
@@ -251,6 +326,8 @@ class Tensor:
     def __truediv__(self, other) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data / other.data
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, _unbroadcast(grad / other.data, self.shape)),
@@ -263,6 +340,8 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         out_data = -self.data
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, -grad)]
@@ -273,6 +352,8 @@ class Tensor:
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log")
         out_data = self.data ** exponent
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, grad * exponent * self.data ** (exponent - 1))]
@@ -299,6 +380,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, grad * out_data)]
@@ -307,6 +390,8 @@ class Tensor:
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, grad / self.data)]
@@ -315,6 +400,8 @@ class Tensor:
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, grad * 0.5 / out_data)]
@@ -323,6 +410,8 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, grad * (1.0 - out_data ** 2))]
@@ -331,6 +420,8 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             return [(self, grad * out_data * (1.0 - out_data))]
@@ -338,6 +429,8 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
+        if not _mode.grad_enabled:
+            return Tensor._noback(np.maximum(self.data, 0.0))
         mask = self.data > 0
         out_data = self.data * mask
 
@@ -347,6 +440,8 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
+        if not _mode.grad_enabled:
+            return Tensor._noback(np.abs(self.data))
         sign = np.sign(self.data)
         out_data = np.abs(self.data)
 
@@ -357,6 +452,8 @@ class Tensor:
 
     def clip(self, lo: float, hi: float) -> "Tensor":
         out_data = np.clip(self.data, lo, hi)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
         mask = (self.data >= lo) & (self.data <= hi)
 
         def backward(grad):
@@ -369,6 +466,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             g = grad
@@ -379,6 +478,8 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if not _mode.grad_enabled:
+            return Tensor._noback(self.data.mean(axis=axis, keepdims=keepdims))
         if axis is None:
             count = self.data.size
         else:
@@ -393,6 +494,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
 
         def backward(grad):
             g = grad
@@ -414,6 +517,8 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
         in_shape = self.shape
 
         def backward(grad):
@@ -427,6 +532,8 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         out_data = self.data.transpose(axes)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
         inverse = np.argsort(axes)
 
         def backward(grad):
@@ -440,6 +547,9 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def __getitem__(self, key) -> "Tensor":
+        if not _mode.grad_enabled:
+            # Views are fine graph-free: nothing mutates op outputs in place.
+            return Tensor._noback(self.data[key])
         out_data = self.data[key]
         in_shape = self.shape
         dtype = self.data.dtype
@@ -453,6 +563,8 @@ class Tensor:
 
     def pad(self, pad_width) -> "Tensor":
         out_data = np.pad(self.data, pad_width)
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
         slices = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, self.shape))
 
         def backward(grad):
@@ -466,6 +578,8 @@ class Tensor:
     def matmul(self, other: "Tensor") -> "Tensor":
         other = as_tensor(other)
         out_data = self.data @ other.data
+        if not _mode.grad_enabled:
+            return Tensor._noback(out_data)
         a, b = self, other
 
         def backward(grad):
@@ -505,6 +619,8 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not _mode.grad_enabled:
+        return Tensor._noback(out_data)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -523,6 +639,8 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
+    if not _mode.grad_enabled:
+        return Tensor._noback(out_data)
 
     def backward(grad):
         pieces = np.split(grad, len(tensors), axis=axis)
@@ -536,6 +654,8 @@ def where(condition: np.ndarray, x: Tensor, y: Tensor) -> Tensor:
     x, y = as_tensor(x), as_tensor(y)
     cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
     out_data = np.where(cond, x.data, y.data)
+    if not _mode.grad_enabled:
+        return Tensor._noback(out_data)
 
     def backward(grad):
         return [(x, _unbroadcast(grad * cond, x.shape)),

@@ -17,7 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
-from ..core.training import TrainConfig, extract_features, predict_probabilities, train_classifier
+from ..core.inference import extract_features, predict_probabilities
+from ..core.training import TrainConfig, train_classifier
 from ..data.loaders import DataLoader
 from ..data.synthetic import Dataset
 from ..models.fusion import FusionMLP, build_fusion_for
@@ -66,12 +67,7 @@ def fused_predict(submodels: list[PrunedSubModel], fusion: FusionMLP,
         else:
             parts.append(extract_features(sm.model, x, batch_size))
     features = np.concatenate(parts, axis=-1)
-    logits = []
-    with nn.no_grad():
-        for start in range(0, len(features), batch_size):
-            out = fusion(nn.Tensor(features[start:start + batch_size]))
-            logits.append(out.data.copy())
-    return np.concatenate(logits, axis=0).argmax(axis=-1)
+    return fusion.predict(features, batch_size).argmax(axis=-1)
 
 
 def fused_accuracy(submodels: list[PrunedSubModel], fusion: FusionMLP,

@@ -157,3 +157,16 @@ class TestTrainedAccuracyCurve:
         for row in rows:
             assert 0.0 <= row["accuracy"] <= 1.0
             assert row["total_memory_mb"] > 0
+
+
+class TestRuntimeSpeedupRows:
+    def test_modes_and_positive_latencies(self):
+        from repro.core.experiments import runtime_speedup_rows
+        from repro.models.vit import ViTConfig
+
+        cfg = ViTConfig(image_size=16, patch_size=4, num_classes=10,
+                        depth=1, embed_dim=16, num_heads=2)
+        rows = runtime_speedup_rows(cfg, repeats=1)
+        assert [r["mode"] for r in rows] == ["graph", "no_grad", "inference"]
+        assert all(r["latency_s"] > 0 for r in rows)
+        assert rows[0]["speedup_vs_graph"] == 1.0
