@@ -17,6 +17,9 @@ for Distributed Inference" (ICDCS 2025).  Subpackages:
   reference;
 * :mod:`repro.edge` — calibrated Raspberry-Pi device models, tc-capped
   links, a discrete-event simulator, and process-based device emulation;
+* :mod:`repro.serving` — asynchronous request-level serving: dynamic
+  batching, concurrent scatter/gather dispatch, failure-aware degraded
+  fusion, telemetry, and a Poisson load generator;
 * :mod:`repro.core` — the :func:`repro.core.build_edvit` orchestrator,
   training loops, and the experiment harness regenerating every table and
   figure;
@@ -34,6 +37,7 @@ from . import (
     nn,
     profiling,
     pruning,
+    serving,
     splitting,
 )
 from .core import EDViTConfig, EDViTSystem, build_edvit
@@ -53,6 +57,7 @@ __all__ = [
     "nn",
     "profiling",
     "pruning",
+    "serving",
     "splitting",
     "__version__",
 ]

@@ -7,6 +7,15 @@ Usage::
     python -m repro.cli plan --model vit-base --budget-mb 180   # Fig. 4 b/c
     python -m repro.cli communication               # Section V-D
     python -m repro.cli schedule --model vit-base --devices 5 --budget-mb 180
+    python -m repro.cli serve --workers 2 --requests 200 --rps 200
+    python -m repro.cli loadgen --rates 50,100,200 --compare-batching
+
+``serve`` stands up a demo fleet behind the asynchronous serving layer
+(:mod:`repro.serving`), drives Poisson traffic at it (optionally killing
+a worker mid-run to demonstrate degraded fusion), and prints the
+telemetry report.  ``loadgen`` sweeps offered load and prints the
+latency-vs-offered-load curve, plus an optional dynamic-batching-on/off
+throughput comparison.
 
 Trained experiments (accuracy panels, baselines) are intentionally not
 wrapped here — run the benches: ``pytest benchmarks/ --benchmark-only -s``.
@@ -78,6 +87,91 @@ def cmd_schedule(args) -> None:
           f"{point.num_devices} devices (budget {budget} MB)")
 
 
+def _make_server(args):
+    from .serving import (BatchingConfig, InferenceServer, ServerConfig,
+                          build_demo_system)
+
+    system = build_demo_system(num_workers=args.workers,
+                               model_kind=args.model_kind,
+                               seed=args.seed, time_scale=args.time_scale)
+    config = ServerConfig(
+        batching=BatchingConfig(max_batch_samples=args.batch,
+                                max_wait_s=args.max_wait_ms / 1e3),
+        worker_timeout_s=args.worker_timeout_s)
+    return system, InferenceServer(system.make_cluster(), system.fusion,
+                                   config)
+
+
+def cmd_serve(args) -> None:
+    import threading
+
+    from .serving import LoadgenConfig, run_load
+
+    system, server = _make_server(args)
+    kill_timer = None
+    with server:
+        if args.kill_after is not None:
+            victim = system.specs[0].worker_id
+            kill_timer = threading.Timer(args.kill_after,
+                                         server.cluster.kill_worker, (victim,))
+            kill_timer.start()
+            print(f"(will kill worker {victim} after {args.kill_after}s)")
+        result = run_load(server, system.input_shape,
+                          LoadgenConfig(num_requests=args.requests,
+                                        mode="open", offered_rps=args.rps,
+                                        seed=args.seed))
+        report = server.stats()
+        if kill_timer is not None:
+            kill_timer.cancel()        # the run may finish before it fires
+    print(format_table([result.row()]))
+    print(format_table([report.row()]))
+    for worker_id, health in report.worker_health.items():
+        print(f"  worker {worker_id}: {health}")
+
+
+def cmd_loadgen(args) -> None:
+    from .serving import LoadgenConfig, run_load, sweep_offered_load
+
+    system, server = _make_server(args)
+    with server:
+        rates = [float(r) for r in args.rates.split(",") if r]
+        results = sweep_offered_load(server, system.input_shape, rates,
+                                     num_requests=args.requests,
+                                     seed=args.seed)
+    print(format_table([r.row() for r in results]))
+
+    if args.compare_batching:
+        rows = []
+        for label, batch, wait_ms in (("batch=1", 1, 0.0),
+                                      ("dynamic", args.batch,
+                                       args.max_wait_ms)):
+            compare_args = argparse.Namespace(**vars(args))
+            compare_args.batch, compare_args.max_wait_ms = batch, wait_ms
+            system, server = _make_server(compare_args)
+            with server:
+                result = run_load(server, system.input_shape,
+                                  LoadgenConfig(num_requests=args.requests,
+                                                mode="closed",
+                                                concurrency=args.concurrency,
+                                                seed=args.seed))
+            rows.append({"batching": label, **result.row()})
+        print(format_table(rows))
+
+
+def _add_serving_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--model-kind", choices=("vit", "vgg", "snn"),
+                        default="vit")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="dynamic batcher max samples per dispatch")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="dynamic batcher flush deadline")
+    parser.add_argument("--worker-timeout-s", type=float, default=5.0)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--time-scale", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ED-ViT reproduction — analytic harness")
@@ -114,6 +208,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--mode", choices=("paper", "algorithm1"),
                          default="paper")
     p_sched.set_defaults(func=cmd_schedule)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async serving layer under Poisson traffic")
+    _add_serving_options(p_serve)
+    p_serve.add_argument("--rps", type=float, default=200.0,
+                         help="offered arrival rate (Poisson)")
+    p_serve.add_argument("--kill-after", type=float, default=None,
+                         help="kill one worker after this many seconds to "
+                              "demonstrate degraded fusion")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="latency-vs-offered-load sweep over the serving layer")
+    _add_serving_options(p_load)
+    p_load.add_argument("--rates", default="50,100,200",
+                        help="comma-separated offered rates (requests/s)")
+    p_load.add_argument("--concurrency", type=int, default=8,
+                        help="closed-loop clients for --compare-batching")
+    p_load.add_argument("--compare-batching", action="store_true",
+                        help="also run closed-loop batch=1 vs dynamic "
+                             "batching")
+    p_load.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -11,6 +11,7 @@ from .inference import (
     predict_labels,
     predict_logits,
     predict_probabilities,
+    split_batch,
 )
 from .metrics import format_mean_std, format_table, mean_std, ratio
 from .training import TrainConfig, TrainResult, train_classifier
@@ -33,5 +34,6 @@ __all__ = [
     "predict_logits",
     "predict_probabilities",
     "ratio",
+    "split_batch",
     "train_classifier",
 ]

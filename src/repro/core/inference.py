@@ -70,6 +70,27 @@ def predict(model: nn.Module, data, batch_size: int = 64, *,
     return np.concatenate(outputs, axis=0)
 
 
+def split_batch(outputs: np.ndarray, sizes: "Iterable[int]") -> list[np.ndarray]:
+    """Slice a coalesced batch output back into per-request chunks.
+
+    The serving layer's dynamic batcher concatenates several requests into
+    one fused forward; this is the inverse, returning one caller-owned view
+    per request (``sizes`` are the per-request sample counts, in dispatch
+    order).  The sizes must tile ``outputs`` exactly.
+    """
+    sizes = list(sizes)
+    total = sum(sizes)
+    if total != len(outputs):
+        raise ValueError(f"sizes sum to {total} but batch has {len(outputs)} "
+                         "samples")
+    chunks: list[np.ndarray] = []
+    start = 0
+    for size in sizes:
+        chunks.append(outputs[start:start + size])
+        start += size
+    return chunks
+
+
 def predict_logits(model: nn.Module, x, batch_size: int = 64) -> np.ndarray:
     """Class logits for every sample (alias of :func:`predict`)."""
     return predict(model, x, batch_size)

@@ -9,21 +9,87 @@ as processes" substitution for the paper's physical Raspberry Pi testbed.
 
 A ``time_scale`` knob shrinks emulated sleeps so tests stay fast while the
 measured proportions remain meaningful.
+
+The wire protocol is request-id tagged so several in-flight requests can be
+distinguished (the serving layer pipelines them) and the gather side never
+blocks on a dead worker: every receive goes through poll-with-timeout plus
+a process-liveness check, and failures surface as the typed
+:class:`WorkerFailure` instead of a hang.
+
+Messages parent -> worker::
+
+    ("infer", request_id, x)   # run forward_features over x
+    ("stop",)                  # drain and exit
+
+Messages worker -> parent::
+
+    ("ready", worker_id)                        # once, after model build
+    ("features", request_id, features, stats)   # per-request success
+    ("error", request_id | None, message)       # per-request failure
+    ("stopped", worker_id)                      # reply to "stop"
 """
 
 from __future__ import annotations
 
 import dataclasses
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
+import threading
 import time
+from typing import Any, Callable
 
 import numpy as np
 
 from .. import nn
+from ..models.snn import ConvSNN, SNNConfig
+from ..models.vgg import VGG, VGGConfig
 from ..models.vit import ViTConfig, VisionTransformer
 from .device import DeviceModel
 from .network import LinkModel, tc_capped_link
 from .simulator import feature_bytes
+
+
+class WorkerFailure(RuntimeError):
+    """A worker process died, timed out, or replied with an error."""
+
+    def __init__(self, worker_id: str, reason: str):
+        super().__init__(f"worker {worker_id!r} failed: {reason}")
+        self.worker_id = worker_id
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# Model-kind registry: maps the WorkerSpec.model_kind string to the pair
+# (config decoder, model constructor) needed to rebuild the sub-model
+# inside a worker process.  Registrations run at import time, so spawned
+# workers (which re-import this module) see the same table.
+@dataclasses.dataclass(frozen=True)
+class ModelKind:
+    config_from_dict: Callable[[dict], Any]
+    build: Callable[[Any], nn.Module]
+
+
+MODEL_KINDS: dict[str, ModelKind] = {}
+
+
+def register_model_kind(kind: str, config_from_dict: Callable[[dict], Any],
+                        build: Callable[[Any], nn.Module]) -> None:
+    """Make ``kind`` servable by :class:`EdgeCluster` workers."""
+    MODEL_KINDS[kind] = ModelKind(config_from_dict, build)
+
+
+register_model_kind("vit", ViTConfig.from_dict, VisionTransformer)
+register_model_kind("vgg", VGGConfig.from_dict, VGG)
+register_model_kind("snn", SNNConfig.from_dict, ConvSNN)
+
+
+def _build_model(kind: str, config: dict) -> nn.Module:
+    try:
+        entry = MODEL_KINDS[kind]
+    except KeyError:
+        raise KeyError(f"unknown model kind {kind!r}; registered kinds: "
+                       f"{sorted(MODEL_KINDS)}") from None
+    return entry.build(entry.config_from_dict(config))
 
 
 @dataclasses.dataclass
@@ -31,35 +97,44 @@ class WorkerSpec:
     """Everything needed to reconstruct one sub-model inside a worker."""
 
     worker_id: str
-    model_kind: str                    # currently "vit"
+    model_kind: str                    # any key of MODEL_KINDS
     model_config: dict
     state_blob: bytes
     flops_per_sample: float
     device: DeviceModel
     link: LinkModel
     batch_size: int = 64               # forward chunk size inside the worker
+    feature_dim: int | None = None     # width of forward_features output
 
     @staticmethod
-    def from_vit(worker_id: str, model: VisionTransformer,
-                 flops_per_sample: float, device: DeviceModel,
-                 link: LinkModel | None = None,
-                 batch_size: int = 64) -> "WorkerSpec":
+    def from_model(worker_id: str, model: nn.Module, kind: str,
+                   flops_per_sample: float, device: DeviceModel,
+                   link: LinkModel | None = None,
+                   batch_size: int = 64) -> "WorkerSpec":
+        """Generic constructor for any registered model kind."""
+        if kind not in MODEL_KINDS:
+            raise KeyError(f"unknown model kind {kind!r}; registered kinds: "
+                           f"{sorted(MODEL_KINDS)}")
         return WorkerSpec(
             worker_id=worker_id,
-            model_kind="vit",
+            model_kind=kind,
             model_config=model.config.to_dict(),
             state_blob=nn.state_dict_to_bytes(model.state_dict()),
             flops_per_sample=flops_per_sample,
             device=device,
             link=link or tc_capped_link(),
             batch_size=batch_size,
+            feature_dim=int(model.feature_dim()),
         )
 
-
-def _build_model(kind: str, config: dict) -> nn.Module:
-    if kind == "vit":
-        return VisionTransformer(ViTConfig.from_dict(config))
-    raise KeyError(f"unknown model kind {kind!r}")
+    @staticmethod
+    def from_vit(worker_id: str, model: VisionTransformer,
+                 flops_per_sample: float, device: DeviceModel,
+                 link: LinkModel | None = None,
+                 batch_size: int = 64) -> "WorkerSpec":
+        return WorkerSpec.from_model(worker_id, model, "vit",
+                                     flops_per_sample, device, link,
+                                     batch_size)
 
 
 def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
@@ -71,36 +146,43 @@ def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
     model.eval()
     conn.send(("ready", spec.worker_id))
     while True:
-        message = conn.recv()
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return                     # parent went away; nothing to reply to
         command = message[0]
         if command == "stop":
             conn.send(("stopped", spec.worker_id))
             return
         if command != "infer":
-            conn.send(("error", f"unknown command {command!r}"))
+            conn.send(("error", None, f"unknown command {command!r}"))
             continue
-        x = message[1]
-        wall_start = time.perf_counter()
-        # Batched, graph-free, workspace-cached: repeated requests reuse the
-        # same scratch buffers, which is exactly the long-lived-server shape
-        # of an edge deployment.
-        features = extract_features(model, x, spec.batch_size,
-                                    keep_workspaces=True)
-        wall_compute = time.perf_counter() - wall_start
+        request_id, x = message[1], message[2]
+        try:
+            wall_start = time.perf_counter()
+            # Batched, graph-free, workspace-cached: repeated requests reuse
+            # the same scratch buffers, which is exactly the long-lived-server
+            # shape of an edge deployment.
+            features = extract_features(model, x, spec.batch_size,
+                                        keep_workspaces=True)
+            wall_compute = time.perf_counter() - wall_start
 
-        # Emulate the Pi-4B compute time and the tc-capped feature transfer.
-        emulated_compute = spec.device.compute_seconds(
-            spec.flops_per_sample * len(x))
-        payload = feature_bytes(features.shape[-1]) * len(x)
-        emulated_transfer = spec.link.transfer_seconds(payload)
-        sleep_for = max(0.0, (emulated_compute + emulated_transfer) * time_scale
-                        - wall_compute)
-        if sleep_for > 0:
-            time.sleep(sleep_for)
-        conn.send(("features", features,
-                   {"emulated_compute_s": emulated_compute,
-                    "emulated_transfer_s": emulated_transfer,
-                    "host_compute_s": wall_compute}))
+            # Emulate the Pi-4B compute time and the tc-capped transfer.
+            emulated_compute = spec.device.compute_seconds(
+                spec.flops_per_sample * len(x))
+            payload = feature_bytes(features.shape[-1]) * len(x)
+            emulated_transfer = spec.link.transfer_seconds(payload)
+            sleep_for = max(0.0,
+                            (emulated_compute + emulated_transfer) * time_scale
+                            - wall_compute)
+            if sleep_for > 0:
+                time.sleep(sleep_for)
+            conn.send(("features", request_id, features,
+                       {"emulated_compute_s": emulated_compute,
+                        "emulated_transfer_s": emulated_transfer,
+                        "host_compute_s": wall_compute}))
+        except Exception as exc:       # an infer error must not kill the loop
+            conn.send(("error", request_id, f"{type(exc).__name__}: {exc}"))
 
 
 @dataclasses.dataclass
@@ -118,7 +200,18 @@ class InferenceTiming:
 
 
 class EdgeCluster:
-    """A fleet of emulated devices plus a local fusion stage."""
+    """A fleet of emulated devices plus a local fusion stage.
+
+    Two client surfaces:
+
+    * the synchronous scatter/gather pair :meth:`infer_features` /
+      :meth:`infer_fused`, which raises :class:`WorkerFailure` on a dead,
+      erroring, or timed-out worker instead of hanging; and
+    * the non-blocking primitives :meth:`submit` / :meth:`poll` /
+      :meth:`mark_down`, which the serving layer
+      (:mod:`repro.serving`) uses to drive all workers concurrently and
+      keep answering in degraded mode when some of them die.
+    """
 
     def __init__(self, workers: list[WorkerSpec], time_scale: float = 0.0):
         if not workers:
@@ -129,9 +222,47 @@ class EdgeCluster:
         self._specs = workers
         self._time_scale = time_scale
         self._context = mp.get_context("spawn")
-        self._processes: list = []
-        self._conns: dict[str, object] = {}
+        self._processes: dict[str, mp.process.BaseProcess] = {}
+        self._conns: dict[str, Any] = {}
+        self._down: dict[str, str] = {}      # worker_id -> failure reason
         self._started = False
+        self._request_counter = 0
+        self._request_counter_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def specs(self) -> list[WorkerSpec]:
+        return list(self._specs)
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def worker_ids(self) -> list[str]:
+        return [s.worker_id for s in self._specs]
+
+    @property
+    def down_workers(self) -> dict[str, str]:
+        """Workers marked down, mapped to the failure reason."""
+        return dict(self._down)
+
+    def feature_dims(self) -> dict[str, int]:
+        """Per-worker feature width (used for zero-filled degraded fusion)."""
+        dims: dict[str, int] = {}
+        for spec in self._specs:
+            if spec.feature_dim is None:
+                model = _build_model(spec.model_kind, spec.model_config)
+                spec.feature_dim = int(model.feature_dim())
+            dims[spec.worker_id] = spec.feature_dim
+        return dims
+
+    def next_request_id(self) -> int:
+        # Client threads (telemetry ids) and the serving loop (dispatch
+        # ids) share this counter, so the bump must be atomic.
+        with self._request_counter_lock:
+            self._request_counter += 1
+            return self._request_counter
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -143,7 +274,7 @@ class EdgeCluster:
                 target=_worker_main, args=(spec, child, self._time_scale),
                 daemon=True)
             process.start()
-            self._processes.append(process)
+            self._processes[spec.worker_id] = process
             self._conns[spec.worker_id] = parent
         for spec in self._specs:
             status, worker_id = self._conns[spec.worker_id].recv()
@@ -152,16 +283,35 @@ class EdgeCluster:
         self._started = True
 
     def shutdown(self) -> None:
+        """Stop all workers.  Idempotent, and tolerant of dead workers."""
         if not self._started:
             return
         for conn in self._conns.values():
-            conn.send(("stop",))
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass                       # worker already gone
         for conn in self._conns.values():
-            conn.recv()
-        for process in self._processes:
+            deadline = time.perf_counter() + 5.0
+            while True:                    # drain stale replies until stopped
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or not conn.poll(remaining):
+                    break
+                try:
+                    if conn.recv()[0] == "stopped":
+                        break
+                except (EOFError, OSError):
+                    break
+        for process in self._processes.values():
             process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        for conn in self._conns.values():
+            conn.close()
         self._processes.clear()
         self._conns.clear()
+        self._down.clear()
         self._started = False
 
     def __enter__(self) -> "EdgeCluster":
@@ -172,32 +322,172 @@ class EdgeCluster:
         self.shutdown()
 
     # ------------------------------------------------------------------
-    def infer_features(self, x: np.ndarray) -> tuple[dict[str, np.ndarray],
-                                                     InferenceTiming]:
-        """Scatter ``x`` to all workers; gather per-worker feature arrays."""
+    # Non-blocking primitives (the serving layer's dispatch surface).
+    def is_alive(self, worker_id: str) -> bool:
+        """Worker is up: not marked down and its process still runs."""
+        if not self._started or worker_id in self._down:
+            return False
+        process = self._processes.get(worker_id)
+        return process is not None and process.is_alive()
+
+    def live_workers(self) -> list[str]:
+        return [wid for wid in self.worker_ids if self.is_alive(wid)]
+
+    def mark_down(self, worker_id: str, reason: str = "marked down") -> None:
+        """Retire a worker: close its pipe and terminate its process."""
+        if worker_id in self._down:
+            return
+        self._down[worker_id] = reason
+        conn = self._conns.pop(worker_id, None)
+        if conn is not None:
+            conn.close()
+        process = self._processes.get(worker_id)
+        if process is not None and process.is_alive():
+            process.terminate()
+
+    def has_buffered_reply(self, worker_id: str) -> bool:
+        """A reply is sitting in the pipe even if the process already died."""
+        conn = self._conns.get(worker_id)
+        try:
+            return conn is not None and conn.poll(0)
+        except (OSError, ValueError):
+            return False
+
+    def kill_worker(self, worker_id: str) -> None:
+        """Hard-kill a worker process (crash injection for tests/demos).
+
+        Deliberately does *not* mark the worker down: the point is to
+        exercise the failure-detection path, which must notice the death
+        via pipe EOF / process liveness and degrade on its own.  A no-op
+        for unknown ids or after shutdown (e.g. a late kill timer).
+        """
+        process = self._processes.get(worker_id)
+        if process is None:
+            return
+        process.terminate()
+        process.join(timeout=5)
+
+    def submit(self, worker_id: str, request_id: int, x: np.ndarray) -> bool:
+        """Dispatch one request without blocking on the reply.
+
+        Returns ``False`` (after marking the worker down) when the worker
+        cannot accept work — dead process or closed pipe.
+        """
+        if not self._started:
+            raise RuntimeError("cluster not started; use start() or a with-block")
+        conn = self._conns.get(worker_id)
+        if conn is None:
+            return False
+        process = self._processes[worker_id]
+        if not process.is_alive():
+            self.mark_down(worker_id, "process died")
+            return False
+        try:
+            conn.send(("infer", request_id, x))
+            return True
+        except (BrokenPipeError, OSError):
+            self.mark_down(worker_id, "pipe closed")
+            return False
+
+    def poll(self, timeout: float = 0.0) -> list[tuple[str, tuple]]:
+        """Collect every reply that arrives within ``timeout`` seconds.
+
+        Waits on all live pipes at once (``multiprocessing.connection.wait``)
+        so one slow worker never serializes the gather.  A pipe that hits
+        EOF (worker crashed) marks that worker down instead of raising.
+        """
+        by_conn = {conn: wid for wid, conn in self._conns.items()}
+        if not by_conn:
+            if timeout > 0:
+                time.sleep(timeout)
+            return []
+        replies: list[tuple[str, tuple]] = []
+        for conn in mp_connection.wait(list(by_conn), timeout):
+            worker_id = by_conn[conn]
+            while True:                # drain everything already buffered
+                try:
+                    has_more = conn.poll(0)
+                except (OSError, ValueError):
+                    self.mark_down(worker_id, "connection closed")
+                    break
+                if not has_more:
+                    break
+                try:
+                    replies.append((worker_id, conn.recv()))
+                except (EOFError, OSError):
+                    self.mark_down(worker_id, "process died (pipe EOF)")
+                    break
+        return replies
+
+    # ------------------------------------------------------------------
+    def infer_features(self, x: np.ndarray, timeout: float | None = 60.0,
+                       ) -> tuple[dict[str, np.ndarray], InferenceTiming]:
+        """Scatter ``x`` to all workers; gather per-worker feature arrays.
+
+        Raises :class:`WorkerFailure` if any worker is already down, dies
+        mid-request, replies with an error, or fails to answer within
+        ``timeout`` seconds (``None`` disables the deadline but dead
+        processes are still detected).
+        """
         if not self._started:
             raise RuntimeError("cluster not started; use start() or a with-block")
         start = time.perf_counter()
+        request_id = self.next_request_id()
+        pending: set[str] = set()
         for spec in self._specs:
-            self._conns[spec.worker_id].send(("infer", x))
+            worker_id = spec.worker_id
+            if worker_id in self._down:
+                raise WorkerFailure(worker_id, self._down[worker_id])
+            if not self.submit(worker_id, request_id, x):
+                raise WorkerFailure(worker_id,
+                                    self._down.get(worker_id, "dispatch failed"))
+            pending.add(worker_id)
+        deadline = None if timeout is None else start + timeout
+
         features: dict[str, np.ndarray] = {}
         per_worker: dict[str, dict[str, float]] = {}
-        for spec in self._specs:
-            reply = self._conns[spec.worker_id].recv()
-            if reply[0] != "features":
-                raise RuntimeError(f"worker {spec.worker_id} error: {reply[1]}")
-            features[spec.worker_id] = reply[1]
-            per_worker[spec.worker_id] = reply[2]
+        while pending:
+            step = 0.05
+            if deadline is not None:
+                step = min(step, max(0.0, deadline - time.perf_counter()))
+            for worker_id, message in self.poll(step):
+                if worker_id not in pending:
+                    continue
+                if message[0] == "error":
+                    # Stale errors from an earlier aborted request carry
+                    # that request's id — skip them, they already raised.
+                    if message[1] is not None and message[1] != request_id:
+                        continue
+                    raise WorkerFailure(worker_id, str(message[2]))
+                if message[0] != "features" or message[1] != request_id:
+                    continue           # stale reply from an aborted request
+                features[worker_id] = message[2]
+                per_worker[worker_id] = message[3]
+                pending.discard(worker_id)
+            for worker_id in sorted(pending):
+                if worker_id in self._down:
+                    raise WorkerFailure(worker_id, self._down[worker_id])
+                if not self._processes[worker_id].is_alive() \
+                        and not self.has_buffered_reply(worker_id):
+                    # Dead process with nothing buffered: it can never reply.
+                    self.mark_down(worker_id, "process died mid-request")
+                    raise WorkerFailure(worker_id, "process died mid-request")
+            if pending and deadline is not None \
+                    and time.perf_counter() >= deadline:
+                worker_id = sorted(pending)[0]
+                self.mark_down(worker_id, f"no reply within {timeout}s")
+                raise WorkerFailure(worker_id, f"no reply within {timeout}s")
         timing = InferenceTiming(wall_seconds=time.perf_counter() - start,
                                  per_worker=per_worker)
         return features, timing
 
-    def infer_fused(self, x: np.ndarray, fusion: nn.Module) -> tuple[np.ndarray,
-                                                                     InferenceTiming]:
+    def infer_fused(self, x: np.ndarray, fusion: nn.Module,
+                    timeout: float | None = 60.0) -> tuple[np.ndarray,
+                                                           InferenceTiming]:
         """Full pipeline: scatter -> gather features -> fuse -> predictions."""
         from ..core.inference import predict
 
-        features, timing = self.infer_features(x)
+        features, timing = self.infer_features(x, timeout=timeout)
         ordered = [features[s.worker_id] for s in self._specs]
         # Long-lived serving path: keep the fusion MLP's scratch warm across
         # requests, mirroring the workers' keep_workspaces=True.

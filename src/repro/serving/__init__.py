@@ -1,0 +1,51 @@
+"""Asynchronous request-level serving over the emulated edge fleet.
+
+Pipeline: clients ``submit()`` requests -> a dynamic batcher coalesces
+them (max batch size / max wait deadline) -> the dispatcher scatters each
+batch to every live worker concurrently and gathers by polling all pipes
+at once -> dead or timed-out workers are marked down and zero-filled
+(degraded fusion) -> the fusion MLP classifies -> per-request futures
+resolve with labels and a full latency breakdown.
+
+See :mod:`repro.serving.loadgen` for the Poisson open-loop / concurrent
+closed-loop load generator, and :mod:`repro.serving.demo` for one-call
+demo fleets used by the CLI, CI smoke job, and benchmarks.
+"""
+
+from .batcher import (
+    Batch,
+    BatchingConfig,
+    DynamicBatcher,
+    QueueFullError,
+    RequestError,
+    ServedFuture,
+)
+from .demo import DemoSystem, build_demo_system
+from .loadgen import (
+    LoadgenConfig,
+    LoadgenResult,
+    run_load,
+    sweep_offered_load,
+)
+from .server import InferenceServer, ServerConfig
+from .telemetry import RequestTelemetry, ServingReport, percentile
+
+__all__ = [
+    "Batch",
+    "BatchingConfig",
+    "DemoSystem",
+    "DynamicBatcher",
+    "InferenceServer",
+    "LoadgenConfig",
+    "LoadgenResult",
+    "QueueFullError",
+    "RequestError",
+    "RequestTelemetry",
+    "ServedFuture",
+    "ServerConfig",
+    "ServingReport",
+    "build_demo_system",
+    "percentile",
+    "run_load",
+    "sweep_offered_load",
+]

@@ -1,0 +1,126 @@
+"""Self-contained demo systems for the serving layer.
+
+Builds a small N-worker split (one tiny sub-model per emulated device plus
+a fusion MLP) without the full ED-ViT pipeline, so the CLI subcommands,
+the CI serving-smoke job, the benchmarks, and the examples can all stand
+up a serveable fleet in well under a second.  Any registered model kind
+("vit", "vgg", "snn") can be served; ``train_fusion=True`` additionally
+fits the fusion MLP on synthetic data so degraded-mode accuracy is
+meaningful rather than random.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .. import nn
+from ..core.inference import extract_features
+from ..core.training import TrainConfig, train_classifier
+from ..data import cifar10_like
+from ..edge.device import DeviceModel
+from ..edge.network import LinkModel
+from ..edge.runtime import EdgeCluster, WorkerSpec
+from ..models.fusion import FusionMLP, build_fusion_for
+from ..models.snn import ConvSNN, SNNConfig
+from ..models.vgg import VGG, VGGConfig
+from ..models.vit import ViTConfig, VisionTransformer
+
+
+def _tiny_model(kind: str, num_classes: int, image_size: int,
+                rng: np.random.Generator) -> nn.Module:
+    if kind == "vit":
+        return VisionTransformer(
+            ViTConfig(image_size=image_size, patch_size=4,
+                      num_classes=num_classes, depth=1, embed_dim=8,
+                      num_heads=2),
+            rng=rng)
+    if kind == "vgg":
+        return VGG(
+            VGGConfig(plan="vgg8", image_size=image_size,
+                      num_classes=num_classes, width_scale=0.0625,
+                      classifier_hidden=128),
+            rng=rng)
+    if kind == "snn":
+        return ConvSNN(
+            SNNConfig(image_size=image_size, num_classes=num_classes,
+                      channels=(4, 8, 8), time_steps=2,
+                      classifier_hidden=16),
+            rng=rng)
+    raise KeyError(f"unknown demo model kind {kind!r}; "
+                   "choose 'vit', 'vgg', or 'snn'")
+
+
+@dataclasses.dataclass
+class DemoSystem:
+    """A ready-to-serve fleet: worker specs, local twins, and fusion."""
+
+    specs: list[WorkerSpec]
+    models: list[nn.Module]            # in-process copies of the sub-models
+    fusion: FusionMLP
+    input_shape: tuple[int, int, int]  # one sample, (C, H, W)
+    num_classes: int
+    time_scale: float = 0.0
+
+    def make_cluster(self) -> EdgeCluster:
+        return EdgeCluster(self.specs, time_scale=self.time_scale)
+
+    def local_fused_labels(self, x: np.ndarray,
+                           zero_workers: tuple[int, ...] = ()) -> np.ndarray:
+        """Reference prediction computed in-process (no cluster).
+
+        ``zero_workers`` zero-fills those workers' feature slots, matching
+        the server's degraded-fusion path exactly.
+        """
+        chunks = []
+        for index, model in enumerate(self.models):
+            feats = extract_features(model, x)
+            if index in zero_workers:
+                feats = np.zeros_like(feats)
+            chunks.append(feats)
+        logits = self.fusion.predict(np.concatenate(chunks, axis=-1))
+        return logits.argmax(axis=-1)
+
+
+def build_demo_system(num_workers: int = 2, model_kind: str = "vit",
+                      num_classes: int = 10, image_size: int = 8,
+                      seed: int = 0, time_scale: float = 0.0,
+                      train_fusion: bool = False,
+                      fusion_epochs: int = 8) -> DemoSystem:
+    """Build an ``num_workers``-device demo split of ``model_kind``."""
+    models = [_tiny_model(model_kind, num_classes, image_size,
+                          np.random.default_rng(seed + index))
+              for index in range(num_workers)]
+    specs = [WorkerSpec.from_model(
+        f"w{index}", model, model_kind, flops_per_sample=1e6,
+        device=DeviceModel(device_id=f"w{index}", macs_per_second=1e12),
+        link=LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0))
+        for index, model in enumerate(models)]
+    fusion = build_fusion_for([m.feature_dim() for m in models],
+                              num_classes=num_classes,
+                              rng=np.random.default_rng(seed + 1000))
+    if train_fusion:
+        if num_classes != 10:
+            raise ValueError("train_fusion uses the 10-class synthetic set; "
+                             "pass num_classes=10")
+        dataset = cifar10_like(image_size=image_size, train_per_class=48,
+                               test_per_class=16, noise_std=0.3, seed=seed)
+        # First give each sub-model informative features (brief classifier
+        # training), then fit the fusion MLP on the frozen features —
+        # mirroring the paper's train-then-fuse protocol at demo scale.
+        for index, model in enumerate(models):
+            train_classifier(model, dataset.x_train, dataset.y_train,
+                             TrainConfig(epochs=fusion_epochs, lr=3e-3,
+                                         seed=seed + index))
+        features = np.concatenate(
+            [extract_features(m, dataset.x_train) for m in models], axis=-1)
+        train_classifier(fusion, features, dataset.y_train,
+                         TrainConfig(epochs=2 * fusion_epochs, lr=3e-3,
+                                     seed=seed))
+        # Refresh the worker specs so they ship the trained weights.
+        for spec, model in zip(specs, models):
+            spec.state_blob = nn.state_dict_to_bytes(model.state_dict())
+    return DemoSystem(specs=specs, models=models, fusion=fusion,
+                      input_shape=(3, image_size, image_size),
+                      num_classes=num_classes, time_scale=time_scale)

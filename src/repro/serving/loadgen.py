@@ -1,0 +1,225 @@
+"""Load generator for the serving layer.
+
+Two canonical client models:
+
+* **open loop** — requests arrive on a Poisson process at a configured
+  offered rate, independent of completions (models external traffic; the
+  honest way to measure tail latency under load); and
+* **closed loop** — a fixed number of concurrent clients each submit,
+  wait, and immediately submit again (models a worker pool; measures
+  sustainable throughput).
+
+:func:`sweep_offered_load` runs the open loop at several rates and
+returns the latency-vs-offered-load curve the benchmarks plot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+from .batcher import RequestError, ServedFuture
+from .server import InferenceServer
+from .telemetry import ServingReport, percentile
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadgenConfig:
+    num_requests: int = 200
+    mode: str = "closed"               # "open" (Poisson) or "closed"
+    offered_rps: float = 100.0         # open loop: mean arrival rate
+    concurrency: int = 4               # closed loop: in-flight clients
+    images_per_request: int = 1
+    request_timeout_s: float = 30.0
+    seed: int = 0
+
+
+# Supplies each request's input: (rng, images_per_request) -> array.
+# Lets callers stream real data (e.g. labelled test images) through the
+# generator's arrival pacing instead of synthetic noise.
+MakeInput = Callable[[np.random.Generator, int], np.ndarray]
+
+
+@dataclasses.dataclass
+class LoadgenResult:
+    config: LoadgenConfig
+    offered_rps: float                 # requested rate (nan for closed loop)
+    achieved_rps: float
+    completed: int
+    errors: int
+    dropped: int                       # admission-control rejections
+    latencies_s: list[float]
+    report: ServingReport
+    # Resolved futures in submission order (open loop) — lets callers
+    # match per-request telemetry/labels back to their inputs.
+    futures: list[ServedFuture] = dataclasses.field(default_factory=list)
+
+    @property
+    def p50_s(self) -> float:
+        return percentile(self.latencies_s, 50)
+
+    @property
+    def p95_s(self) -> float:
+        return percentile(self.latencies_s, 95)
+
+    @property
+    def p99_s(self) -> float:
+        return percentile(self.latencies_s, 99)
+
+    def row(self) -> dict:
+        return {
+            "mode": self.config.mode,
+            "offered_rps": None if math.isnan(self.offered_rps)
+            else round(self.offered_rps, 1),
+            "achieved_rps": round(self.achieved_rps, 2),
+            "completed": self.completed,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "p50_ms": round(self.p50_s * 1e3, 3),
+            "p95_ms": round(self.p95_s * 1e3, 3),
+            "p99_ms": round(self.p99_s * 1e3, 3),
+        }
+
+
+def _make_input(rng: np.random.Generator, input_shape: tuple[int, ...],
+                count: int) -> np.ndarray:
+    return rng.normal(size=(count, *input_shape)).astype(np.float32)
+
+
+def run_load(server: InferenceServer, input_shape: tuple[int, ...],
+             config: LoadgenConfig | None = None,
+             make_input: MakeInput | None = None) -> LoadgenResult:
+    """Drive ``server`` with traffic and collect latency stats.
+
+    ``input_shape`` is one sample's shape, e.g. ``(3, 8, 8)``.  By default
+    requests carry synthetic noise; pass ``make_input`` to supply real
+    per-request payloads (see :data:`MakeInput`).
+    """
+    config = config or LoadgenConfig()
+    if make_input is None:
+        def make_input(rng, count):
+            return _make_input(rng, input_shape, count)
+    if config.mode == "open":
+        return _run_open_loop(server, config, make_input)
+    if config.mode == "closed":
+        return _run_closed_loop(server, config, make_input)
+    raise ValueError(f"unknown loadgen mode {config.mode!r}; "
+                     "choose 'open' or 'closed'")
+
+
+def _collect(server: InferenceServer, config: LoadgenConfig,
+             futures: list[ServedFuture], dropped: int,
+             wall_seconds: float, offered_rps: float,
+             records_before: int) -> LoadgenResult:
+    latencies: list[float] = []
+    errors = 0
+    for future in futures:
+        try:
+            future.result(config.request_timeout_s)
+            latencies.append(future.telemetry.total_s)
+        except Exception:
+            errors += 1
+    # Scope the report to THIS run's records (the server may have served
+    # earlier runs — e.g. previous rates of a sweep — on the same stats).
+    run_records = server.records()[records_before:]
+    return LoadgenResult(
+        config=config,
+        offered_rps=offered_rps,
+        achieved_rps=len(latencies) / max(wall_seconds, 1e-12),
+        completed=len(latencies),
+        errors=errors,
+        dropped=dropped,
+        latencies_s=latencies,
+        report=ServingReport.from_records(
+            run_records, wall_seconds=wall_seconds,
+            worker_health=server.worker_health()),
+        futures=futures,
+    )
+
+
+def _run_open_loop(server: InferenceServer, config: LoadgenConfig,
+                   make_input: MakeInput) -> LoadgenResult:
+    rng = np.random.default_rng(config.seed)
+    futures: list[ServedFuture] = []
+    dropped = 0
+    records_before = len(server.records())
+    start = time.perf_counter()
+    next_arrival = start
+    for _ in range(config.num_requests):
+        next_arrival += rng.exponential(1.0 / config.offered_rps)
+        delay = next_arrival - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            futures.append(server.submit(
+                make_input(rng, config.images_per_request)))
+        except RequestError:
+            dropped += 1
+    for future in futures:             # wall clock covers full drain
+        try:
+            future.result(config.request_timeout_s)
+        except Exception:
+            pass                       # recorded as an error during collect
+    wall = time.perf_counter() - start
+    return _collect(server, config, futures, dropped, wall,
+                    offered_rps=config.offered_rps,
+                    records_before=records_before)
+
+
+def _run_closed_loop(server: InferenceServer, config: LoadgenConfig,
+                     make_input: MakeInput) -> LoadgenResult:
+    futures: list[ServedFuture] = []
+    futures_lock = threading.Lock()
+    counter = {"next": 0, "dropped": 0}
+    records_before = len(server.records())
+
+    def client(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        while True:
+            with futures_lock:
+                if counter["next"] >= config.num_requests:
+                    return
+                counter["next"] += 1
+            try:
+                future = server.submit(
+                    make_input(rng, config.images_per_request))
+            except RequestError:
+                with futures_lock:
+                    counter["dropped"] += 1
+                continue
+            with futures_lock:
+                futures.append(future)
+            try:
+                future.result(config.request_timeout_s)
+            except Exception:
+                pass                   # recorded as an error during collect
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(config.seed + i,),
+                                daemon=True)
+               for i in range(config.concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return _collect(server, config, futures, counter["dropped"], wall,
+                    offered_rps=float("nan"),
+                    records_before=records_before)
+
+
+def sweep_offered_load(server: InferenceServer, input_shape: tuple[int, ...],
+                       rates_rps: list[float], num_requests: int = 100,
+                       seed: int = 0) -> list[LoadgenResult]:
+    """Open-loop latency-vs-offered-load curve (one result per rate)."""
+    results = []
+    for rate in rates_rps:
+        config = LoadgenConfig(num_requests=num_requests, mode="open",
+                               offered_rps=rate, seed=seed)
+        results.append(run_load(server, input_shape, config))
+    return results

@@ -1,0 +1,316 @@
+"""Asynchronous request-level inference server over an :class:`EdgeCluster`.
+
+The server owns three moving parts:
+
+* a :class:`~repro.serving.batcher.DynamicBatcher` that coalesces
+  concurrent single-image requests into fused batches;
+* a dispatcher thread that scatters each batch to every live worker at
+  once and gathers replies by polling all pipes concurrently
+  (``EdgeCluster.submit`` / ``EdgeCluster.poll``), so one slow device
+  never serializes the gather; and
+* failure-aware fusion: a worker that times out, errors, or dies is
+  marked down and its feature slot is zero-filled, so the fleet keeps
+  answering in degraded mode — the runtime version of
+  ``examples/fault_tolerance.py``'s offline analysis.
+
+Every request carries a :class:`~repro.serving.telemetry.RequestTelemetry`
+breakdown; :meth:`InferenceServer.stats` aggregates them into a
+:class:`~repro.serving.telemetry.ServingReport`.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+
+import numpy as np
+
+from ..core.inference import predict, split_batch
+from ..edge.runtime import EdgeCluster
+from .batcher import (
+    Batch,
+    BatchingConfig,
+    DynamicBatcher,
+    RequestError,
+    ServedFuture,
+)
+from .telemetry import RequestTelemetry, ServingReport
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerConfig:
+    batching: BatchingConfig = dataclasses.field(default_factory=BatchingConfig)
+    worker_timeout_s: float = 5.0      # per-batch gather deadline
+    poll_interval_s: float = 0.02      # pipe-poll granularity
+    max_records: int = 100_000         # telemetry ring-buffer bound
+
+
+class InferenceServer:
+    """Queue -> dynamic batcher -> concurrent scatter/gather -> fusion."""
+
+    def __init__(self, cluster: EdgeCluster, fusion,
+                 config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self._cluster = cluster
+        self._fusion = fusion
+        self._batcher = DynamicBatcher(self.config.batching)
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        # Ring buffer: a long-lived server must not grow without bound.
+        self._records: "collections.deque[RequestTelemetry]" = \
+            collections.deque(maxlen=self.config.max_records)
+        self._dropped = 0
+        self._started_at = 0.0
+        self._stopped_at: float | None = None
+        self._health_snapshot: dict[str, str] | None = None
+        self._feature_dims: dict[str, int] = {}
+        self._input_shape: tuple[int, ...] | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        if not self._cluster.started:
+            self._cluster.start()
+        if self._batcher.closed:       # restarting after stop(): fresh queue
+            self._batcher = DynamicBatcher(self.config.batching)
+        self._feature_dims = self._cluster.feature_dims()
+        self._input_shape = self._expected_input_shape()
+        self._stopped_at = None
+        self._health_snapshot = None
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(target=self._serve_loop,
+                                        name="repro-serving", daemon=True)
+        self._thread.start()
+
+    def stop(self, shutdown_cluster: bool = True) -> None:
+        """Stop serving.  Idempotent; pending requests fail cleanly."""
+        if self._thread is None:
+            return
+        self._batcher.close()
+        self._thread.join(timeout=30)
+        self._thread = None
+        self._stopped_at = time.perf_counter()
+        # Cluster shutdown clears its down-map; freeze health for
+        # post-stop stats()/worker_health() calls.
+        self._health_snapshot = self.worker_health()
+        for future in self._batcher.drain():
+            future.telemetry.completed_at = time.perf_counter()
+            future.set_error(RequestError("server stopped"))
+            self._record(future.telemetry)
+        if shutdown_cluster:
+            self._cluster.shutdown()
+
+    def __enter__(self) -> "InferenceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _expected_input_shape(self) -> tuple[int, ...] | None:
+        """Per-sample input shape derived from the worker model configs."""
+        config = self._cluster.specs[0].model_config
+        try:
+            size = int(config["image_size"])
+            channels = int(config["in_channels"])
+        except (KeyError, TypeError, ValueError):
+            return None                # custom kind without standard keys
+        return (channels, size, size)
+
+    def submit(self, x: np.ndarray) -> ServedFuture:
+        """Enqueue one request (a small stack of images); never blocks.
+
+        Shape-mismatched requests are rejected here with a typed
+        :class:`RequestError`, so one bad client cannot poison the batch
+        its request would have been coalesced into.
+        """
+        if self._thread is None:
+            raise RuntimeError("server not started; use start() or a with-block")
+        x = np.asarray(x)
+        if x.ndim == 3:                # single image -> batch of one
+            x = x[None]
+        if self._input_shape is not None and x.shape[1:] != self._input_shape:
+            with self._lock:
+                self._dropped += 1
+            raise RequestError(
+                f"bad request shape {x.shape[1:]}; this fleet serves "
+                f"samples of shape {self._input_shape}")
+        telemetry = RequestTelemetry(request_id=self._cluster.next_request_id(),
+                                     num_samples=len(x),
+                                     enqueued_at=time.perf_counter())
+        future = ServedFuture(telemetry.request_id, x, telemetry)
+        try:
+            self._batcher.submit(future)
+        except RequestError:
+            with self._lock:
+                self._dropped += 1
+            raise
+        return future
+
+    def infer(self, x: np.ndarray, timeout: float | None = 60.0) -> np.ndarray:
+        """Synchronous convenience wrapper: submit and wait for labels."""
+        return self.submit(x).result(timeout)
+
+    # ------------------------------------------------------------------
+    @property
+    def cluster(self) -> EdgeCluster:
+        """The underlying fleet (e.g. for health probes or kill injection)."""
+        return self._cluster
+
+    def worker_health(self) -> dict[str, str]:
+        """``worker_id -> "up"`` or the reason the worker was marked down."""
+        if self._health_snapshot is not None:
+            return dict(self._health_snapshot)
+        down = self._cluster.down_workers
+        return {wid: down.get(wid, "up") for wid in self._cluster.worker_ids}
+
+    @property
+    def dropped(self) -> int:
+        """Requests rejected at admission (queue full)."""
+        with self._lock:
+            return self._dropped
+
+    def records(self) -> list[RequestTelemetry]:
+        with self._lock:
+            return list(self._records)
+
+    def stats(self) -> ServingReport:
+        end = self._stopped_at if self._stopped_at is not None \
+            else time.perf_counter()
+        return ServingReport.from_records(
+            self.records(), wall_seconds=end - self._started_at,
+            worker_health=self.worker_health())
+
+    def _record(self, telemetry: RequestTelemetry) -> None:
+        with self._lock:
+            self._records.append(telemetry)
+
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self._batcher.next_batch(self.config.poll_interval_s)
+            if batch is None:
+                return
+            try:
+                self._serve_batch(batch)
+            except Exception as exc:   # a bad batch must not kill the server
+                now = time.perf_counter()
+                for future in batch.requests:
+                    future.telemetry.completed_at = now
+                    future.set_error(RequestError(f"serving failed: {exc}"))
+                    self._record(future.telemetry)
+
+    def _serve_batch(self, batch: Batch) -> None:
+        dispatched_at = time.perf_counter()
+        for future in batch.requests:
+            telemetry = future.telemetry
+            telemetry.dispatched_at = dispatched_at
+            telemetry.queue_s = dispatched_at - telemetry.enqueued_at
+            telemetry.batch_requests = len(batch.requests)
+            telemetry.batch_samples = batch.num_samples
+        x = batch.concatenated()
+
+        # Scatter to every live worker under one shared request id.
+        request_id = self._cluster.next_request_id()
+        pending: set[str] = set()
+        for worker_id in self._cluster.worker_ids:
+            # submit() detects dead processes / closed pipes itself and
+            # marks the worker down, so no liveness pre-check here.
+            if self._cluster.submit(worker_id, request_id, x):
+                pending.add(worker_id)
+        if not pending:
+            # Whole fleet down: answering from an all-zeros fusion input
+            # would be a constant-label lie — fail loudly instead.
+            now = time.perf_counter()
+            for future in batch.requests:
+                future.telemetry.completed_at = now
+                future.telemetry.workers_down = tuple(self._cluster.worker_ids)
+                future.set_error(RequestError("no live workers"))
+                self._record(future.telemetry)
+            return
+
+        # Gather concurrently: poll all pipes, detect deaths and deadline
+        # misses, and degrade instead of hanging.
+        features: dict[str, np.ndarray] = {}
+        stats: dict[str, dict[str, float]] = {}
+        deadline = dispatched_at + self.config.worker_timeout_s
+        while pending:
+            step = min(self.config.poll_interval_s,
+                       max(0.0, deadline - time.perf_counter()))
+            for worker_id, message in self._cluster.poll(step):
+                if worker_id not in pending:
+                    continue           # stale reply from an aborted batch
+                if message[0] == "features" and message[1] == request_id:
+                    features[worker_id] = message[2]
+                    stats[worker_id] = message[3]
+                    pending.discard(worker_id)
+                elif message[0] == "error" and message[1] == request_id:
+                    # Per-request failure: the worker itself survives (its
+                    # loop keeps serving), so only this batch degrades —
+                    # its feature slot is zero-filled below.
+                    pending.discard(worker_id)
+            for worker_id in list(pending):
+                if not self._cluster.is_alive(worker_id) \
+                        and not self._cluster.has_buffered_reply(worker_id):
+                    self._cluster.mark_down(worker_id, "process died mid-request")
+                    pending.discard(worker_id)
+            if pending and time.perf_counter() >= deadline:
+                for worker_id in pending:
+                    self._cluster.mark_down(
+                        worker_id,
+                        f"no reply within {self.config.worker_timeout_s}s")
+                pending.clear()
+        gather_s = time.perf_counter() - dispatched_at
+
+        if not features:
+            # Every dispatched worker errored (or died) on this batch —
+            # answering from an all-zeros fusion would fabricate a
+            # constant label, so fail these requests loudly instead.
+            now = time.perf_counter()
+            for future in batch.requests:
+                future.telemetry.completed_at = now
+                future.telemetry.gather_s = gather_s
+                future.set_error(RequestError(
+                    "no worker produced features for this batch"))
+                self._record(future.telemetry)
+            return
+
+        # Degraded fusion: zero-fill the feature slot of every worker that
+        # did not answer, preserving the concatenation layout the fusion
+        # MLP was trained on.
+        missing = tuple(wid for wid in self._cluster.worker_ids
+                        if wid not in features)
+        ordered = []
+        for worker_id in self._cluster.worker_ids:
+            if worker_id in features:
+                ordered.append(features[worker_id])
+            else:
+                ordered.append(np.zeros(
+                    (len(x), self._feature_dims[worker_id]), dtype=np.float32))
+        fusion_start = time.perf_counter()
+        logits = predict(self._fusion, np.concatenate(ordered, axis=-1),
+                         keep_workspaces=True)
+        fusion_s = time.perf_counter() - fusion_start
+
+        emulated_compute = max((s["emulated_compute_s"]
+                                for s in stats.values()), default=0.0)
+        emulated_transfer = max((s["emulated_transfer_s"]
+                                 for s in stats.values()), default=0.0)
+        completed_at = time.perf_counter()
+        labels = logits.argmax(axis=-1)
+        for future, chunk in zip(batch.requests,
+                                 split_batch(labels, batch.sizes)):
+            telemetry = future.telemetry
+            telemetry.completed_at = completed_at
+            telemetry.gather_s = gather_s
+            telemetry.fusion_s = fusion_s
+            telemetry.emulated_compute_s = emulated_compute
+            telemetry.emulated_transfer_s = emulated_transfer
+            telemetry.degraded = bool(missing)
+            telemetry.workers_down = missing
+            future.set_result(chunk.copy())
+            self._record(telemetry)

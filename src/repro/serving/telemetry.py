@@ -1,0 +1,125 @@
+"""Per-request telemetry and aggregate serving statistics.
+
+Every request that passes through :class:`repro.serving.InferenceServer`
+gets a :class:`RequestTelemetry` record with the full latency breakdown
+(queue wait, scatter/gather, emulated compute and transfer, fusion), and
+:class:`ServingReport` aggregates a run's records into throughput,
+p50/p95/p99 latency, and per-worker health — the numbers a serving
+dashboard would plot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]); nan when empty."""
+    if not len(values):
+        return math.nan
+    return float(np.percentile(values, q))
+
+
+@dataclasses.dataclass
+class RequestTelemetry:
+    """Latency breakdown for one served request (all durations seconds)."""
+
+    request_id: int
+    num_samples: int                   # images in this request
+    enqueued_at: float                 # perf_counter timestamps
+    dispatched_at: float = 0.0
+    completed_at: float = 0.0
+    batch_requests: int = 0            # requests coalesced into its batch
+    batch_samples: int = 0             # images in that batch
+    queue_s: float = 0.0               # enqueue -> dispatch
+    gather_s: float = 0.0              # scatter -> last worker reply
+    fusion_s: float = 0.0              # fusion forward
+    emulated_compute_s: float = 0.0    # critical-path worker compute
+    emulated_transfer_s: float = 0.0   # critical-path feature transfer
+    degraded: bool = False             # zero-filled features were used
+    workers_down: tuple[str, ...] = ()
+    error: str | None = None
+
+    @property
+    def total_s(self) -> float:
+        return self.completed_at - self.enqueued_at
+
+    @property
+    def service_s(self) -> float:
+        return self.completed_at - self.dispatched_at
+
+
+@dataclasses.dataclass
+class ServingReport:
+    """Aggregate statistics over a window of completed requests."""
+
+    completed: int
+    failed: int
+    wall_seconds: float
+    throughput_rps: float              # requests / second
+    throughput_sps: float              # samples (images) / second
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+    queue_mean_s: float
+    gather_mean_s: float
+    fusion_mean_s: float
+    mean_batch_requests: float
+    degraded_requests: int
+    worker_health: dict[str, str]      # worker_id -> "up" | reason it is down
+
+    @staticmethod
+    def from_records(records: Iterable[RequestTelemetry],
+                     wall_seconds: float,
+                     worker_health: dict[str, str] | None = None,
+                     ) -> "ServingReport":
+        records = list(records)
+        done = [r for r in records if r.error is None]
+        failed = len(records) - len(done)
+        totals = [r.total_s for r in done]
+        samples = sum(r.num_samples for r in done)
+        wall = max(wall_seconds, 1e-12)
+
+        def mean(values: list[float]) -> float:
+            return sum(values) / len(values) if values else math.nan
+
+        return ServingReport(
+            completed=len(done),
+            failed=failed,
+            wall_seconds=wall_seconds,
+            throughput_rps=len(done) / wall,
+            throughput_sps=samples / wall,
+            latency_p50_s=percentile(totals, 50),
+            latency_p95_s=percentile(totals, 95),
+            latency_p99_s=percentile(totals, 99),
+            latency_mean_s=mean(totals),
+            queue_mean_s=mean([r.queue_s for r in done]),
+            gather_mean_s=mean([r.gather_s for r in done]),
+            fusion_mean_s=mean([r.fusion_s for r in done]),
+            mean_batch_requests=mean([float(r.batch_requests) for r in done]),
+            degraded_requests=sum(1 for r in done if r.degraded),
+            worker_health=dict(worker_health or {}),
+        )
+
+    def row(self) -> dict:
+        """One flat dict, ready for :func:`repro.core.metrics.format_table`."""
+        down = sorted(w for w, s in self.worker_health.items() if s != "up")
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "rps": round(self.throughput_rps, 2),
+            "img/s": round(self.throughput_sps, 2),
+            "p50_ms": round(self.latency_p50_s * 1e3, 3),
+            "p95_ms": round(self.latency_p95_s * 1e3, 3),
+            "p99_ms": round(self.latency_p99_s * 1e3, 3),
+            "queue_ms": round(self.queue_mean_s * 1e3, 3),
+            "fusion_ms": round(self.fusion_mean_s * 1e3, 3),
+            "batch_reqs": round(self.mean_batch_requests, 2),
+            "degraded": self.degraded_requests,
+            "down": ",".join(down) or "-",
+        }

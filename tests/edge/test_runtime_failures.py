@@ -1,0 +1,141 @@
+"""Edge-runtime failure paths: crashes, timeouts, bad replies, shutdown.
+
+The seed implementation blocked forever in ``conn.recv()`` when a worker
+died mid-request; these tests pin the fixed behavior — every failure mode
+surfaces as a typed :exc:`WorkerFailure` within a bounded time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.edge.device import DeviceModel
+from repro.edge.network import LinkModel
+from repro.edge.runtime import EdgeCluster, WorkerFailure, WorkerSpec
+from repro.models.vit import ViTConfig, VisionTransformer
+
+
+def tiny_model(seed=0):
+    cfg = ViTConfig(image_size=8, patch_size=4, num_classes=3,
+                    depth=1, embed_dim=8, num_heads=2)
+    return VisionTransformer(cfg, rng=np.random.default_rng(seed))
+
+
+def make_worker(worker_id, seed=0, macs_per_second=1e12):
+    model = tiny_model(seed=seed)
+    return WorkerSpec.from_vit(
+        worker_id, model, flops_per_sample=1e6,
+        device=DeviceModel(device_id=worker_id,
+                           macs_per_second=macs_per_second),
+        link=LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0))
+
+
+X = np.zeros((2, 3, 8, 8), dtype=np.float32)
+
+
+class TestWorkerCrash:
+    def test_dead_worker_raises_instead_of_hanging(self):
+        with EdgeCluster([make_worker("a"), make_worker("b", seed=1)]) as cluster:
+            cluster.kill_worker("a")
+            with pytest.raises(WorkerFailure) as info:
+                cluster.infer_features(X, timeout=10.0)
+            assert info.value.worker_id == "a"
+            assert "a" in cluster.down_workers
+
+    def test_surviving_worker_still_answers_after_peer_death(self):
+        with EdgeCluster([make_worker("a"), make_worker("b", seed=1)]) as cluster:
+            healthy, _ = cluster.infer_features(X)
+            cluster.kill_worker("a")
+            with pytest.raises(WorkerFailure):
+                cluster.infer_features(X, timeout=10.0)
+            # The non-blocking primitives keep working on the survivor.
+            request_id = cluster.next_request_id()
+            assert cluster.submit("b", request_id, X)
+            reply = None
+            for _ in range(100):
+                replies = cluster.poll(0.1)
+                fresh = [m for w, m in replies
+                         if w == "b" and m[0] == "features"
+                         and m[1] == request_id]
+                if fresh:
+                    reply = fresh[0]
+                    break
+            assert reply is not None
+            np.testing.assert_allclose(reply[2], healthy["b"])
+
+    def test_slow_worker_times_out(self):
+        # 1e9 MACs at 1e6 MACs/s = 1000 s emulated; time_scale=1 sleeps it.
+        spec = make_worker("slow", macs_per_second=1e6)
+        spec.flops_per_sample = 1e9
+        with EdgeCluster([spec], time_scale=1.0) as cluster:
+            with pytest.raises(WorkerFailure) as info:
+                cluster.infer_features(X, timeout=0.3)
+            assert "no reply" in info.value.reason
+            assert "slow" in cluster.down_workers
+
+
+class TestBadReplies:
+    def test_unknown_command_reply_is_typed_error(self):
+        with EdgeCluster([make_worker("a")]) as cluster:
+            cluster._conns["a"].send(("bogus",))
+            replies = cluster.poll(5.0)
+            assert replies and replies[0][1][0] == "error"
+            assert "unknown command" in replies[0][1][2]
+            # The worker survives a bad command and keeps serving.
+            features, _ = cluster.infer_features(X)
+            assert features["a"].shape[0] == len(X)
+
+    def test_infer_error_reply_raises_but_worker_survives(self):
+        with EdgeCluster([make_worker("a")]) as cluster:
+            bad = np.zeros((1, 5, 8, 8), dtype=np.float32)   # wrong channels
+            with pytest.raises(WorkerFailure):
+                cluster.infer_features(bad, timeout=10.0)
+            assert cluster.is_alive("a")
+            features, _ = cluster.infer_features(X)
+            assert features["a"].shape[0] == len(X)
+
+    def test_stale_error_from_second_worker_does_not_poison_next_request(self):
+        # Both workers error on the bad input; infer_features raises on the
+        # first reply and the second stays buffered.  The next (valid)
+        # request must skip that stale error instead of raising on it.
+        with EdgeCluster([make_worker("a"), make_worker("b", seed=1)]) as cluster:
+            bad = np.zeros((1, 5, 8, 8), dtype=np.float32)
+            with pytest.raises(WorkerFailure):
+                cluster.infer_features(bad, timeout=10.0)
+            features, _ = cluster.infer_features(X, timeout=10.0)
+            assert set(features) == {"a", "b"}
+
+
+class TestShutdown:
+    def test_shutdown_twice_is_idempotent(self):
+        cluster = EdgeCluster([make_worker("a")])
+        cluster.start()
+        cluster.shutdown()
+        cluster.shutdown()                     # must be a no-op
+        assert not cluster.started
+
+    def test_shutdown_with_dead_worker_does_not_hang(self):
+        cluster = EdgeCluster([make_worker("a"), make_worker("b", seed=1)])
+        cluster.start()
+        cluster.kill_worker("a")
+        cluster.shutdown()                     # bounded, no exception
+        assert not cluster.started
+
+    def test_restart_after_shutdown(self):
+        spec = make_worker("a")
+        cluster = EdgeCluster([spec])
+        cluster.start()
+        cluster.shutdown()
+        cluster.start()
+        features, _ = cluster.infer_features(X)
+        assert features["a"].shape[0] == len(X)
+        cluster.shutdown()
+
+
+class TestMarkDown:
+    def test_mark_down_excludes_worker_from_liveness(self):
+        with EdgeCluster([make_worker("a"), make_worker("b", seed=1)]) as cluster:
+            cluster.mark_down("a", "operator said so")
+            assert cluster.live_workers() == ["b"]
+            assert cluster.down_workers == {"a": "operator said so"}
+            cluster.mark_down("a", "again")    # idempotent, keeps first reason
+            assert cluster.down_workers["a"] == "operator said so"

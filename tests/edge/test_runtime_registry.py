@@ -1,0 +1,62 @@
+"""Model-kind registry: any registered architecture can be served."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.inference import extract_features
+from repro.edge.device import DeviceModel
+from repro.edge.network import LinkModel
+from repro.edge.runtime import (
+    MODEL_KINDS,
+    EdgeCluster,
+    WorkerSpec,
+    _build_model,
+    register_model_kind,
+)
+from repro.serving.demo import _tiny_model
+
+
+def make_spec(worker_id, model, kind):
+    return WorkerSpec.from_model(
+        worker_id, model, kind, flops_per_sample=1e6,
+        device=DeviceModel(device_id=worker_id, macs_per_second=1e12),
+        link=LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0))
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        assert {"vit", "vgg", "snn"} <= set(MODEL_KINDS)
+
+    def test_unknown_kind_rejected_at_spec_build(self):
+        model = _tiny_model("vit", 10, 8, np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            make_spec("w", model, "transformerx")
+
+    def test_unknown_kind_rejected_at_model_build(self):
+        with pytest.raises(KeyError):
+            _build_model("transformerx", {})
+
+    def test_from_model_records_feature_dim(self):
+        for kind in ("vit", "vgg", "snn"):
+            model = _tiny_model(kind, 10, 8, np.random.default_rng(0))
+            spec = make_spec("w", model, kind)
+            assert spec.feature_dim == model.feature_dim()
+
+    def test_register_roundtrip(self):
+        sentinel = object()
+        register_model_kind("test-kind", lambda d: d, lambda c: sentinel)
+        try:
+            assert _build_model("test-kind", {}) is sentinel
+        finally:
+            del MODEL_KINDS["test-kind"]
+
+
+@pytest.mark.parametrize("kind", ["vgg", "snn"])
+def test_non_vit_kinds_serve_through_cluster(kind):
+    model = _tiny_model(kind, 10, 8, np.random.default_rng(3))
+    x = np.random.default_rng(0).normal(size=(3, 3, 8, 8)).astype(np.float32)
+    with EdgeCluster([make_spec("w0", model, kind)]) as cluster:
+        features, _ = cluster.infer_features(x)
+    local = extract_features(model, x)
+    np.testing.assert_allclose(features["w0"], local, atol=1e-5)

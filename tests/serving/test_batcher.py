@@ -1,0 +1,134 @@
+"""Dynamic batcher unit tests (no processes, no server thread)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.inference import split_batch
+from repro.serving.batcher import (
+    BatchingConfig,
+    DynamicBatcher,
+    QueueFullError,
+    RequestError,
+    ServedFuture,
+)
+from repro.serving.telemetry import RequestTelemetry
+
+
+def make_future(request_id, samples=1):
+    x = np.zeros((samples, 3, 8, 8), dtype=np.float32)
+    telemetry = RequestTelemetry(request_id=request_id, num_samples=samples,
+                                 enqueued_at=time.perf_counter())
+    return ServedFuture(request_id, x, telemetry)
+
+
+class TestBatchFormation:
+    def test_coalesces_pending_requests_in_fifo_order(self):
+        batcher = DynamicBatcher(BatchingConfig(max_batch_samples=8,
+                                                max_wait_s=0.01))
+        for i in range(3):
+            batcher.submit(make_future(i))
+        batch = batcher.next_batch()
+        assert [f.request_id for f in batch.requests] == [0, 1, 2]
+        assert batch.num_samples == 3
+        assert batch.concatenated().shape[0] == 3
+
+    def test_max_batch_samples_splits_backlog(self):
+        batcher = DynamicBatcher(BatchingConfig(max_batch_samples=2,
+                                                max_wait_s=0.01))
+        for i in range(3):
+            batcher.submit(make_future(i))
+        first = batcher.next_batch()
+        second = batcher.next_batch()
+        assert [f.request_id for f in first.requests] == [0, 1]
+        assert [f.request_id for f in second.requests] == [2]
+
+    def test_deadline_flushes_partial_batch(self):
+        batcher = DynamicBatcher(BatchingConfig(max_batch_samples=64,
+                                                max_wait_s=0.02))
+        batcher.submit(make_future(0))
+        start = time.perf_counter()
+        batch = batcher.next_batch()
+        elapsed = time.perf_counter() - start
+        assert len(batch.requests) == 1
+        assert elapsed < 1.0            # flushed by deadline, not starvation
+
+    def test_oversized_request_dispatches_alone(self):
+        batcher = DynamicBatcher(BatchingConfig(max_batch_samples=4,
+                                                max_wait_s=0.01))
+        batcher.submit(make_future(0, samples=9))
+        batcher.submit(make_future(1, samples=1))
+        first = batcher.next_batch()
+        assert [f.request_id for f in first.requests] == [0]
+        assert first.num_samples == 9
+
+    def test_late_arrival_joins_open_batch(self):
+        batcher = DynamicBatcher(BatchingConfig(max_batch_samples=8,
+                                                max_wait_s=0.2))
+        batcher.submit(make_future(0))
+
+        def late_submit():
+            time.sleep(0.03)
+            batcher.submit(make_future(1))
+
+        thread = threading.Thread(target=late_submit)
+        thread.start()
+        batch = batcher.next_batch()
+        thread.join()
+        assert [f.request_id for f in batch.requests] == [0, 1]
+
+
+class TestAdmissionAndShutdown:
+    def test_queue_capacity_rejects_with_typed_error(self):
+        batcher = DynamicBatcher(BatchingConfig(queue_capacity=2))
+        batcher.submit(make_future(0))
+        batcher.submit(make_future(1))
+        with pytest.raises(QueueFullError):
+            batcher.submit(make_future(2))
+
+    def test_close_unblocks_next_batch_and_rejects_submits(self):
+        batcher = DynamicBatcher(BatchingConfig())
+        batcher.close()
+        assert batcher.next_batch(poll_interval=0.01) is None
+        with pytest.raises(RequestError):
+            batcher.submit(make_future(0))
+
+    def test_drain_returns_leftovers(self):
+        batcher = DynamicBatcher(BatchingConfig())
+        batcher.submit(make_future(0))
+        batcher.submit(make_future(1))
+        assert [f.request_id for f in batcher.drain()] == [0, 1]
+        assert batcher.pending() == 0
+
+
+class TestServedFuture:
+    def test_result_blocks_until_set(self):
+        future = make_future(0)
+        threading.Timer(0.02, future.set_result, (np.array([1]),)).start()
+        assert future.result(timeout=5.0) == np.array([1])
+        assert future.done()
+
+    def test_error_propagates(self):
+        future = make_future(0)
+        future.set_error(RequestError("boom"))
+        with pytest.raises(RequestError, match="boom"):
+            future.result(timeout=1.0)
+        assert future.telemetry.error == "boom"
+
+    def test_timeout_raises(self):
+        with pytest.raises(TimeoutError):
+            make_future(0).result(timeout=0.01)
+
+
+class TestSplitBatch:
+    def test_round_trip(self):
+        data = np.arange(10)
+        chunks = split_batch(data, [3, 1, 6])
+        assert [len(c) for c in chunks] == [3, 1, 6]
+        np.testing.assert_array_equal(np.concatenate(chunks), data)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            split_batch(np.arange(5), [2, 2])

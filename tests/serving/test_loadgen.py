@@ -1,0 +1,106 @@
+"""Load-generator tests: open/closed loops, drops, and the batching win."""
+
+import math
+
+import pytest
+
+from repro.serving import (
+    BatchingConfig,
+    InferenceServer,
+    LoadgenConfig,
+    ServerConfig,
+    build_demo_system,
+    percentile,
+    run_load,
+    sweep_offered_load,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_demo_system(num_workers=2)
+
+
+def make_server(system, max_batch_samples=16, max_wait_s=0.002):
+    return InferenceServer(
+        system.make_cluster(), system.fusion,
+        ServerConfig(batching=BatchingConfig(
+            max_batch_samples=max_batch_samples, max_wait_s=max_wait_s)))
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+
+class TestClosedLoop:
+    def test_all_requests_complete(self, system):
+        with make_server(system) as server:
+            result = run_load(server, system.input_shape,
+                              LoadgenConfig(num_requests=40, mode="closed",
+                                            concurrency=4))
+        assert result.completed == 40
+        assert result.errors == 0 and result.dropped == 0
+        assert len(result.latencies_s) == 40
+        assert 0 < result.p50_s <= result.p95_s <= result.p99_s
+        assert result.achieved_rps > 0
+        assert result.report.completed == 40
+
+    def test_dynamic_batching_beats_batch_one(self, system):
+        """Acceptance criterion: batching strictly increases throughput."""
+        with make_server(system, max_batch_samples=16,
+                         max_wait_s=0.005) as server:
+            batched = run_load(server, system.input_shape,
+                               LoadgenConfig(num_requests=150, mode="closed",
+                                             concurrency=8))
+        with make_server(system, max_batch_samples=1,
+                         max_wait_s=0.0) as server:
+            single = run_load(server, system.input_shape,
+                              LoadgenConfig(num_requests=150, mode="closed",
+                                            concurrency=8))
+        assert batched.errors == 0 and single.errors == 0
+        assert batched.achieved_rps > single.achieved_rps
+        assert batched.report.mean_batch_requests > \
+            single.report.mean_batch_requests
+
+    def test_images_per_request(self, system):
+        with make_server(system) as server:
+            result = run_load(server, system.input_shape,
+                              LoadgenConfig(num_requests=10, mode="closed",
+                                            concurrency=2,
+                                            images_per_request=3))
+        assert result.completed == 10
+        assert result.report.throughput_sps > result.report.throughput_rps
+
+
+class TestOpenLoop:
+    def test_poisson_arrivals_zero_drops(self, system):
+        with make_server(system) as server:
+            result = run_load(server, system.input_shape,
+                              LoadgenConfig(num_requests=50, mode="open",
+                                            offered_rps=400.0))
+        assert result.completed == 50
+        assert result.errors == 0 and result.dropped == 0
+        assert result.offered_rps == 400.0
+
+    def test_sweep_returns_one_result_per_rate(self, system):
+        with make_server(system) as server:
+            results = sweep_offered_load(server, system.input_shape,
+                                         [100.0, 500.0], num_requests=25)
+        assert [r.offered_rps for r in results] == [100.0, 500.0]
+        for result in results:
+            assert result.completed == 25 and result.errors == 0
+            # Each rate's report covers only that run, not the whole sweep.
+            assert result.report.completed == 25
+
+
+def test_unknown_mode_rejected(system):
+    with make_server(system) as server:
+        with pytest.raises(ValueError):
+            run_load(server, system.input_shape, LoadgenConfig(mode="sine"))

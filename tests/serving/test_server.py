@@ -1,0 +1,229 @@
+"""End-to-end serving tests over a real 2-worker process fleet."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BatchingConfig,
+    InferenceServer,
+    ServerConfig,
+    build_demo_system,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_demo_system(num_workers=2)
+
+
+def make_server(system, max_batch_samples=8, max_wait_s=0.002,
+                worker_timeout_s=10.0):
+    return InferenceServer(
+        system.make_cluster(), system.fusion,
+        ServerConfig(batching=BatchingConfig(
+            max_batch_samples=max_batch_samples, max_wait_s=max_wait_s),
+            worker_timeout_s=worker_timeout_s))
+
+
+def inputs(system, count, seed=0):
+    return np.random.default_rng(seed).normal(
+        size=(count, *system.input_shape)).astype(np.float32)
+
+
+class TestServing:
+    def test_served_labels_match_local_fusion(self, system):
+        x = inputs(system, 5)
+        with make_server(system) as server:
+            labels = server.infer(x)
+        np.testing.assert_array_equal(labels, system.local_fused_labels(x))
+
+    def test_single_image_request_is_promoted_to_batch(self, system):
+        x = inputs(system, 1)[0]                  # (C, H, W)
+        with make_server(system) as server:
+            labels = server.infer(x)
+        assert labels.shape == (1,)
+
+    def test_concurrent_requests_all_resolve_correctly(self, system):
+        with make_server(system) as server:
+            chunks = [inputs(system, 1 + i % 3, seed=i) for i in range(12)]
+            futures = [server.submit(c) for c in chunks]
+            results = [f.result(30.0) for f in futures]
+        for chunk, result in zip(chunks, results):
+            np.testing.assert_array_equal(result,
+                                          system.local_fused_labels(chunk))
+
+    def test_requests_are_dynamically_batched(self, system):
+        with make_server(system, max_batch_samples=16,
+                         max_wait_s=0.05) as server:
+            futures = [server.submit(inputs(system, 1, seed=i))
+                       for i in range(6)]
+            for future in futures:
+                future.result(30.0)
+            merged = [f.telemetry.batch_requests for f in futures]
+        assert max(merged) > 1                     # at least one coalesced batch
+
+    def test_telemetry_breakdown_is_populated(self, system):
+        with make_server(system) as server:
+            future = server.submit(inputs(system, 2))
+            future.result(30.0)
+        telemetry = future.telemetry
+        assert telemetry.total_s > 0
+        assert telemetry.queue_s >= 0
+        assert telemetry.gather_s > 0
+        assert telemetry.fusion_s > 0
+        assert telemetry.total_s >= telemetry.service_s
+        assert telemetry.batch_requests >= 1
+        assert telemetry.num_samples == 2
+        assert not telemetry.degraded and telemetry.error is None
+
+    def test_stats_report_fields(self, system):
+        with make_server(system) as server:
+            for _ in range(4):
+                server.infer(inputs(system, 1))
+            report = server.stats()
+        assert report.completed == 4 and report.failed == 0
+        assert report.throughput_rps > 0
+        assert report.latency_p50_s <= report.latency_p95_s \
+            <= report.latency_p99_s
+        assert report.worker_health == {"w0": "up", "w1": "up"}
+
+
+class TestDegradedServing:
+    def test_killed_worker_degrades_to_zero_filled_fusion(self, system):
+        x = inputs(system, 4)
+        with make_server(system, worker_timeout_s=5.0) as server:
+            healthy = server.infer(x)
+            server.cluster.kill_worker("w0")
+            deadline = time.perf_counter() + 10.0
+            degraded = server.infer(x)
+            while not server.stats().degraded_requests \
+                    and time.perf_counter() < deadline:
+                degraded = server.infer(x)         # kill may land mid-batch
+            report = server.stats()
+        np.testing.assert_array_equal(healthy, system.local_fused_labels(x))
+        np.testing.assert_array_equal(
+            degraded, system.local_fused_labels(x, zero_workers=(0,)))
+        assert report.worker_health["w0"] != "up"
+        assert report.worker_health["w1"] == "up"
+        assert report.degraded_requests > 0
+        assert report.failed == 0                  # degraded, never dropped
+
+    def test_mid_stream_kill_keeps_every_request_answered(self, system):
+        with make_server(system, worker_timeout_s=5.0) as server:
+            threading.Timer(0.05, server.cluster.kill_worker,
+                            ("w1",)).start()
+            futures = []
+            for i in range(40):
+                futures.append(server.submit(inputs(system, 1, seed=i)))
+                time.sleep(0.005)
+            labels = [f.result(30.0) for f in futures]
+            report = server.stats()
+        assert len(labels) == 40
+        assert report.failed == 0
+        assert report.degraded_requests > 0
+        assert any(f.telemetry.workers_down == ("w1",) for f in futures)
+
+    def test_all_workers_down_fails_loudly_not_silently(self, system):
+        from repro.serving import RequestError
+
+        x = inputs(system, 2)
+        with make_server(system, worker_timeout_s=5.0) as server:
+            server.infer(x)
+            server.cluster.kill_worker("w0")
+            server.cluster.kill_worker("w1")
+            # An all-zeros fusion answer would be a constant-label lie, so
+            # a fully-dead fleet surfaces a typed error instead.
+            with pytest.raises(RequestError, match="no live workers"):
+                server.infer(x)
+            report = server.stats()
+        assert all(h != "up" for h in report.worker_health.values())
+        assert report.failed >= 1
+
+
+class TestBadRequests:
+    def test_shape_mismatch_rejected_at_submit(self, system):
+        from repro.serving import RequestError
+
+        with make_server(system) as server:
+            good = server.submit(inputs(system, 2))
+            with pytest.raises(RequestError, match="bad request shape"):
+                server.submit(np.zeros((1, 3, 16, 16), dtype=np.float32))
+            # The offender is counted as dropped; innocents still resolve.
+            assert server.dropped == 1
+            np.testing.assert_array_equal(
+                good.result(30.0), system.local_fused_labels(good.x))
+
+    def test_all_workers_erroring_fails_batch_but_not_fleet(self, system):
+        from repro.serving import RequestError
+
+        # Bypass submit-side validation to force an in-worker error: every
+        # worker replies ("error", ...).  With no features at all the batch
+        # must fail loudly (an all-zeros fusion would fabricate a constant
+        # label), but the workers survive and keep serving valid requests.
+        with make_server(system) as server:
+            server._input_shape = None
+            bad = np.zeros((2, 5, 8, 8), dtype=np.float32)
+            with pytest.raises(RequestError, match="no worker produced"):
+                server.submit(bad).result(30.0)
+            assert all(server.cluster.is_alive(w) for w in ("w0", "w1"))
+            x = inputs(system, 3)
+            healthy = server.infer(x)
+            report = server.stats()
+        np.testing.assert_array_equal(healthy, system.local_fused_labels(x))
+        assert report.worker_health == {"w0": "up", "w1": "up"}
+        assert report.failed == 1 and report.degraded_requests == 0
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_rejects_new_requests(self, system):
+        server = make_server(system)
+        server.start()
+        server.infer(inputs(system, 1))
+        server.stop()
+        server.stop()                              # no-op
+        with pytest.raises(RuntimeError):
+            server.submit(inputs(system, 1))
+
+    def test_submit_before_start_raises(self, system):
+        server = make_server(system)
+        with pytest.raises(RuntimeError):
+            server.submit(inputs(system, 1))
+
+    def test_double_start_raises(self, system):
+        server = make_server(system)
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_restart_after_stop_serves_again(self, system):
+        server = make_server(system)
+        x = inputs(system, 2)
+        server.start()
+        server.infer(x)
+        server.stop()
+        server.start()                             # fresh queue + cluster
+        try:
+            labels = server.infer(x)
+        finally:
+            server.stop()
+        np.testing.assert_array_equal(labels, system.local_fused_labels(x))
+
+    def test_post_stop_stats_keep_worker_health(self, system):
+        with make_server(system, worker_timeout_s=5.0) as server:
+            server.infer(inputs(system, 1))
+            server.cluster.kill_worker("w0")
+            deadline = time.perf_counter() + 10.0
+            while not server.stats().degraded_requests \
+                    and time.perf_counter() < deadline:
+                server.infer(inputs(system, 1))
+        # Cluster shutdown cleared its down-map, but the report read after
+        # the with-block must still show the failure.
+        report = server.stats()
+        assert report.worker_health["w0"] != "up"
+        assert report.degraded_requests > 0

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.edge",
     "repro.core",
     "repro.baselines",
+    "repro.serving",
 ]
 
 MODULES = SUBPACKAGES + [
@@ -41,6 +42,8 @@ MODULES = SUBPACKAGES + [
     "repro.core.training", "repro.core.edvit", "repro.core.metrics",
     "repro.core.experiments", "repro.core.deployment_io",
     "repro.baselines.split_cnn", "repro.baselines.split_snn",
+    "repro.serving.batcher", "repro.serving.server", "repro.serving.loadgen",
+    "repro.serving.telemetry", "repro.serving.demo",
     "repro.cli",
 ]
 
