@@ -1,0 +1,114 @@
+"""CI smoke test for the planning layer (the `planner-smoke` job).
+
+End-to-end: plan a small heterogeneous fleet, round-trip the plan through
+JSON, boot the serving stack from the rebuilt plan, kill one worker
+mid-run, and assert that online replanning restores accuracy strictly
+above the zero-fill degraded floor.  Also pins the `greedy_assign`
+regression: the previously-infeasible fleet (memory-tight device rejected
+for the big sub-model, then needed for the small one) must now place.
+
+Run:  PYTHONPATH=src python benchmarks/planner_smoke.py
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.assignment import DeviceSpec, SubModelSpec, greedy_assign, validate_plan
+from repro.planning import DeploymentPlan, PlannedSystem, plan_demo_system
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {name}" + (f" ({detail})" if detail else ""))
+    if not condition:
+        raise SystemExit(f"planner smoke failed: {name} {detail}")
+
+
+def main() -> None:
+    print("== greedy_assign regression fleet ==")
+    devices = [DeviceSpec("d0", memory_bytes=10, energy_flops=1000.0),
+               DeviceSpec("d1", memory_bytes=100, energy_flops=50.0)]
+    submodels = [SubModelSpec("m0", size_bytes=50, flops_per_sample=40.0),
+                 SubModelSpec("m1", size_bytes=10, flops_per_sample=30.0)]
+    plan = greedy_assign(devices, submodels, num_samples=1)
+    validate_plan(plan, devices, submodels, num_samples=1)
+    check("previously-infeasible fleet places",
+          plan.mapping == {"m0": "d1", "m1": "d0"}, str(plan.mapping))
+
+    print("== plan a heterogeneous fleet ==")
+    t0 = time.perf_counter()
+    system = plan_demo_system(num_workers=2, seed=0,
+                              throughputs=[1.0, 0.5],
+                              train_fusion=True, fusion_epochs=8)
+    print(f"  planned+trained in {time.perf_counter() - t0:.1f}s")
+    deployment = system.plan
+    deployment.validate()
+    check("plan carries a DES prediction",
+          deployment.prediction is not None
+          and deployment.prediction.latency_s > 0)
+    check("plan carries a real accuracy",
+          deployment.prediction.accuracy is not None
+          and deployment.prediction.accuracy > 0.15,
+          f"accuracy={deployment.prediction.accuracy}")
+
+    print("== JSON round trip + deterministic rebuild ==")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = deployment.save(Path(tmp) / "plan.json")
+        rebuilt_plan = DeploymentPlan.load(path)
+    check("JSON round trip is lossless",
+          rebuilt_plan.to_dict() == deployment.to_dict())
+    t0 = time.perf_counter()
+    rebuilt = PlannedSystem.from_plan(rebuilt_plan)
+    print(f"  rebuilt from JSON in {time.perf_counter() - t0:.1f}s")
+
+    dataset = rebuilt.eval_dataset()
+    x = dataset.x_test.astype(np.float32)
+    y = np.asarray(dataset.y_test)
+    healthy = rebuilt.local_accuracy(x, y)
+    zero_fill_floor = rebuilt.local_accuracy(x, y, zero_models=(0,))
+    check("rebuild reproduces the planned accuracy",
+          healthy == deployment.prediction.accuracy,
+          f"{healthy} vs {deployment.prediction.accuracy}")
+    check("zero-fill floor is strictly degraded",
+          zero_fill_floor < healthy,
+          f"floor={zero_fill_floor}, healthy={healthy}")
+
+    print("== serve from plan, kill a worker, replan ==")
+    victim = rebuilt.plan.model_ids[0]
+    with rebuilt.make_server() as server:
+        served = float((server.infer(x, timeout=60.0) == y).mean())
+        check("served accuracy matches local reference", served == healthy,
+              f"{served} vs {healthy}")
+
+        server.cluster.kill_worker(victim)
+        server.infer(x[:4], timeout=60.0)      # absorbs the death, replans
+        deadline = time.perf_counter() + 30.0
+        while server.hosting()[victim] == victim \
+                and time.perf_counter() < deadline:
+            time.sleep(0.05)
+        hosting = server.hosting()
+        check("victim slot re-hosted", hosting[victim] != victim,
+              str(hosting))
+
+        recovered = float((server.infer(x, timeout=60.0) == y).mean())
+        report = server.stats()
+    check("replan restores accuracy above the zero-fill floor",
+          recovered > zero_fill_floor,
+          f"recovered={recovered}, floor={zero_fill_floor}")
+    check("replan restores the healthy accuracy", recovered == healthy,
+          f"{recovered} vs {healthy}")
+    check("no request failed", report.failed == 0, str(report.failed))
+    check("replan event recorded",
+          rebuilt.plan.history
+          and rebuilt.plan.history[-1]["kind"] == "replan")
+    print("planner smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,10 @@ for Distributed Inference" (ICDCS 2025).  Subpackages:
 * :mod:`repro.serving` — asynchronous request-level serving: dynamic
   batching, concurrent scatter/gather dispatch, failure-aware degraded
   fusion, telemetry, and a Poisson load generator;
+* :mod:`repro.planning` — the declarative deployment layer: a
+  :class:`repro.planning.DeploymentPlan` scored by the DES simulator,
+  JSON round-tripping, plan→serving execution, and online replanning
+  after device failures;
 * :mod:`repro.core` — the :func:`repro.core.build_edvit` orchestrator,
   training loops, and the experiment harness regenerating every table and
   figure;
@@ -35,6 +39,7 @@ from . import (
     edge,
     models,
     nn,
+    planning,
     profiling,
     pruning,
     serving,
@@ -55,6 +60,7 @@ __all__ = [
     "edge",
     "models",
     "nn",
+    "planning",
     "profiling",
     "pruning",
     "serving",

@@ -2,7 +2,7 @@
 
 Sub-models are sorted by computation overhead (descending) and each is
 placed on the device with the most residual energy; devices that cannot
-host the current sub-model are dropped from consideration.  Multiple
+host the current sub-model are skipped *for that sub-model only*.  Multiple
 sub-models may share a device when resources allow, matching Section IV-D
 ("multiple sub-models can be deployed on a single device").
 
@@ -10,7 +10,9 @@ The paper's pseudocode advances to the next sub-model after discarding a
 device; read literally that would leave the current sub-model unplaced, so
 — as the surrounding prose clearly intends — we keep trying the remaining
 devices for the *current* sub-model until it is placed or no devices
-remain.
+remain.  A device that cannot host the current (large) sub-model may still
+have room for a later, smaller one — sub-models are visited largest-first
+— so rejection must never remove the device from the fleet.
 """
 
 from __future__ import annotations
@@ -26,7 +28,6 @@ def greedy_assign(devices: list[DeviceSpec], submodels: list[SubModelSpec],
 
     residual_memory = {d.device_id: d.memory_bytes for d in devices}
     residual_energy = {d.device_id: float(d.energy_flops) for d in devices}
-    active = {d.device_id for d in devices}
     mapping: dict[str, str] = {}
 
     # Line 1: sort by computation overhead, highest first.
@@ -35,9 +36,13 @@ def greedy_assign(devices: list[DeviceSpec], submodels: list[SubModelSpec],
     for model in order:
         need_energy = model.workload_flops(num_samples)
         placed = False
-        while active and not placed:
-            # Line 3: the device with maximum residual energy.
-            best = max(active, key=lambda d: residual_energy[d])
+        # Candidates are skipped per sub-model, never dropped globally: a
+        # device too small for this sub-model can still host a later one.
+        candidates = sorted(residual_memory)
+        while candidates and not placed:
+            # Line 3: the device with maximum residual energy (ties broken
+            # by device id, so plans are reproducible across processes).
+            best = max(candidates, key=lambda d: residual_energy[d])
             if (residual_memory[best] >= model.size_bytes
                     and residual_energy[best] >= need_energy):
                 residual_memory[best] -= model.size_bytes
@@ -45,8 +50,8 @@ def greedy_assign(devices: list[DeviceSpec], submodels: list[SubModelSpec],
                 mapping[model.model_id] = best
                 placed = True
             else:
-                # Line 8: drop the exhausted device.
-                active.discard(best)
+                # Line 8: skip the device for this sub-model only.
+                candidates.remove(best)
         if not placed:
             raise InfeasibleAssignment(
                 f"sub-model {model.model_id} (size={model.size_bytes}, "

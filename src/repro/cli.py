@@ -4,18 +4,24 @@ Usage::
 
     python -m repro.cli profile                     # Table I
     python -m repro.cli flops [--mode paper]        # Table II
-    python -m repro.cli plan --model vit-base --budget-mb 180   # Fig. 4 b/c
+    python -m repro.cli curve --model vit-base --budget-mb 180  # Fig. 4 b/c
     python -m repro.cli communication               # Section V-D
     python -m repro.cli schedule --model vit-base --devices 5 --budget-mb 180
+    python -m repro.cli plan --workers 3 --out plan.json
     python -m repro.cli serve --workers 2 --requests 200 --rps 200
+    python -m repro.cli serve --plan plan.json --kill-after 0.3
     python -m repro.cli loadgen --rates 50,100,200 --compare-batching
 
-``serve`` stands up a demo fleet behind the asynchronous serving layer
-(:mod:`repro.serving`), drives Poisson traffic at it (optionally killing
-a worker mid-run to demonstrate degraded fusion), and prints the
-telemetry report.  ``loadgen`` sweeps offered load and prints the
-latency-vs-offered-load curve, plus an optional dynamic-batching-on/off
-throughput comparison.
+``plan`` runs the deployment planner (:mod:`repro.planning`) over a small
+heterogeneous demo fleet and emits the scored
+:class:`~repro.planning.DeploymentPlan` as JSON.  ``serve`` stands up a
+fleet behind the asynchronous serving layer (:mod:`repro.serving`) —
+either a demo fleet or, with ``--plan``, a fleet booted from a plan file
+with online replanning enabled — drives Poisson traffic at it (optionally
+killing a worker mid-run to demonstrate degraded fusion and replan
+recovery), and prints the telemetry report.  ``loadgen`` sweeps offered
+load and prints the latency-vs-offered-load curve, plus an optional
+dynamic-batching-on/off throughput comparison.
 
 Trained experiments (accuracy panels, baselines) are intentionally not
 wrapped here — run the benches: ``pytest benchmarks/ --benchmark-only -s``.
@@ -54,7 +60,7 @@ def cmd_flops(args) -> None:
     print(format_table(table2_rows(schedule_mode=args.mode)))
 
 
-def cmd_plan(args) -> None:
+def cmd_curve(args) -> None:
     budget = args.budget_mb
     if budget is None:
         budget = PAPER_BUDGETS_MB[args.model]
@@ -62,6 +68,39 @@ def cmd_plan(args) -> None:
                                 budget_mb=budget,
                                 schedule_mode=args.mode)
     print(format_table(rows))
+
+
+def cmd_plan(args) -> None:
+    from .planning import plan_demo_system
+
+    throughputs = None
+    if args.throughputs:
+        throughputs = [float(t) for t in args.throughputs.split(",") if t]
+    system = plan_demo_system(num_workers=args.workers,
+                              model_kind=args.model_kind,
+                              seed=args.seed,
+                              throughputs=throughputs,
+                              train_fusion=args.train_fusion,
+                              fusion_epochs=args.fusion_epochs)
+    plan = system.plan
+    if args.out:
+        path = plan.save(args.out)
+        rows = [{
+            "sub-model": m.model_id,
+            "classes": ",".join(str(c) for c in m.classes),
+            "device": plan.mapping[m.model_id],
+            "size_kb": round(m.size_bytes / 1024, 1),
+            "mflops": round(m.flops_per_sample / 1e6, 3),
+        } for m in plan.submodels]
+        print(format_table(rows))
+        prediction = plan.prediction
+        print(f"predicted latency {prediction.latency_s * 1e3:.3f} ms, "
+              f"energy {prediction.energy_j:.3g} J"
+              + (f", accuracy {prediction.accuracy:.3f}"
+                 if prediction.accuracy is not None else ""))
+        print(f"plan written to {path}")
+    else:
+        print(plan.to_json())
 
 
 def cmd_communication(_args) -> None:
@@ -91,13 +130,21 @@ def _make_server(args):
     from .serving import (BatchingConfig, InferenceServer, ServerConfig,
                           build_demo_system)
 
-    system = build_demo_system(num_workers=args.workers,
-                               model_kind=args.model_kind,
-                               seed=args.seed, time_scale=args.time_scale)
     config = ServerConfig(
         batching=BatchingConfig(max_batch_samples=args.batch,
                                 max_wait_s=args.max_wait_ms / 1e3),
         worker_timeout_s=args.worker_timeout_s)
+    plan_path = getattr(args, "plan", None)
+    if plan_path:
+        from .planning import DeploymentPlan, PlannedSystem
+
+        system = PlannedSystem.from_plan(DeploymentPlan.load(plan_path),
+                                         time_scale=args.time_scale)
+        return system, system.make_server(
+            config, replan=not getattr(args, "no_replan", False))
+    system = build_demo_system(num_workers=args.workers,
+                               model_kind=args.model_kind,
+                               seed=args.seed, time_scale=args.time_scale)
     return system, InferenceServer(system.make_cluster(), system.fusion,
                                    config)
 
@@ -111,7 +158,7 @@ def cmd_serve(args) -> None:
     kill_timer = None
     with server:
         if args.kill_after is not None:
-            victim = system.specs[0].worker_id
+            victim = server.slots[0]
             kill_timer = threading.Timer(args.kill_after,
                                          server.cluster.kill_worker, (victim,))
             kill_timer.start()
@@ -121,12 +168,17 @@ def cmd_serve(args) -> None:
                                         mode="open", offered_rps=args.rps,
                                         seed=args.seed))
         report = server.stats()
+        hosting = server.hosting()
         if kill_timer is not None:
             kill_timer.cancel()        # the run may finish before it fires
     print(format_table([result.row()]))
     print(format_table([report.row()]))
     for worker_id, health in report.worker_health.items():
         print(f"  worker {worker_id}: {health}")
+    rehosted = {slot: worker for slot, worker in hosting.items()
+                if slot != worker}
+    for slot, worker in rehosted.items():
+        print(f"  slot {slot}: re-hosted on {worker} (replanned)")
 
 
 def cmd_loadgen(args) -> None:
@@ -185,13 +237,30 @@ def build_parser() -> argparse.ArgumentParser:
                          default="paper")
     p_flops.set_defaults(func=cmd_flops)
 
-    p_plan = sub.add_parser("plan", help="latency/memory curve (Figs. 4-6)")
-    p_plan.add_argument("--model", choices=_FULL_SIZE_MODELS,
-                        default="vit-base")
-    p_plan.add_argument("--budget-mb", type=float, default=None)
-    p_plan.add_argument("--channels", type=int, default=3)
-    p_plan.add_argument("--mode", choices=("paper", "algorithm1"),
-                        default="paper")
+    p_curve = sub.add_parser("curve", help="latency/memory curve (Figs. 4-6)")
+    p_curve.add_argument("--model", choices=_FULL_SIZE_MODELS,
+                         default="vit-base")
+    p_curve.add_argument("--budget-mb", type=float, default=None)
+    p_curve.add_argument("--channels", type=int, default=3)
+    p_curve.add_argument("--mode", choices=("paper", "algorithm1"),
+                         default="paper")
+    p_curve.set_defaults(func=cmd_curve)
+
+    p_plan = sub.add_parser(
+        "plan", help="plan a demo fleet and emit the DeploymentPlan JSON")
+    p_plan.add_argument("--workers", type=int, default=2)
+    p_plan.add_argument("--model-kind", choices=("vit", "vgg", "snn"),
+                        default="vit")
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--throughputs", default=None,
+                        help="comma-separated per-device throughput "
+                             "multipliers (heterogeneous fleet)")
+    p_plan.add_argument("--train-fusion", action="store_true",
+                        help="train the demo system so the plan carries a "
+                             "real accuracy prediction")
+    p_plan.add_argument("--fusion-epochs", type=int, default=8)
+    p_plan.add_argument("--out", default=None,
+                        help="write the plan JSON here (default: stdout)")
     p_plan.set_defaults(func=cmd_plan)
 
     sub.add_parser("communication",
@@ -217,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--kill-after", type=float, default=None,
                          help="kill one worker after this many seconds to "
                               "demonstrate degraded fusion")
+    p_serve.add_argument("--plan", default=None,
+                         help="boot the fleet from a DeploymentPlan JSON "
+                              "file (enables online replanning)")
+    p_serve.add_argument("--no-replan", action="store_true",
+                         help="with --plan: disable replanning (zero-fill "
+                              "degraded mode only)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(

@@ -67,20 +67,34 @@ class WorkerFailure(RuntimeError):
 class ModelKind:
     config_from_dict: Callable[[dict], Any]
     build: Callable[[Any], nn.Module]
+    flops: Callable[[Any], float] | None = None   # per-sample MACs profiler
 
 
 MODEL_KINDS: dict[str, ModelKind] = {}
 
 
 def register_model_kind(kind: str, config_from_dict: Callable[[dict], Any],
-                        build: Callable[[Any], nn.Module]) -> None:
-    """Make ``kind`` servable by :class:`EdgeCluster` workers."""
-    MODEL_KINDS[kind] = ModelKind(config_from_dict, build)
+                        build: Callable[[Any], nn.Module],
+                        flops: Callable[[Any], float] | None = None) -> None:
+    """Make ``kind`` servable by :class:`EdgeCluster` workers.
+
+    ``flops`` (config -> per-sample MACs) additionally makes the kind
+    *plannable*: :func:`repro.profiling.model_flops` consults it when the
+    planning layer profiles sub-models of this kind.
+    """
+    MODEL_KINDS[kind] = ModelKind(config_from_dict, build, flops)
 
 
-register_model_kind("vit", ViTConfig.from_dict, VisionTransformer)
-register_model_kind("vgg", VGGConfig.from_dict, VGG)
-register_model_kind("snn", SNNConfig.from_dict, ConvSNN)
+def _register_builtin_kinds() -> None:
+    from ..profiling.flops import paper_flops, snn_flops, vgg_flops
+
+    register_model_kind("vit", ViTConfig.from_dict, VisionTransformer,
+                        flops=paper_flops)
+    register_model_kind("vgg", VGGConfig.from_dict, VGG, flops=vgg_flops)
+    register_model_kind("snn", SNNConfig.from_dict, ConvSNN, flops=snn_flops)
+
+
+_register_builtin_kinds()
 
 
 def _build_model(kind: str, config: dict) -> nn.Module:
@@ -135,6 +149,33 @@ class WorkerSpec:
         return WorkerSpec.from_model(worker_id, model, "vit",
                                      flops_per_sample, device, link,
                                      batch_size)
+
+    @staticmethod
+    def from_plan(plan, model_id: str, model: nn.Module,
+                  batch_size: int = 64,
+                  worker_id: str | None = None) -> "WorkerSpec":
+        """Spec for one planned sub-model, on its plan-assigned device.
+
+        ``plan`` is a :class:`repro.planning.DeploymentPlan` (duck-typed
+        here to keep the edge layer free of planning imports): the
+        sub-model's kind/config/footprint and the hosting device's
+        compute/link parameters all come from the plan, the weights from
+        the concrete ``model``.  ``worker_id`` defaults to the model id,
+        so plan-booted clusters address workers by sub-model.
+        """
+        sub = plan.submodel(model_id)
+        device = plan.device(plan.mapping[model_id])
+        return WorkerSpec(
+            worker_id=worker_id or model_id,
+            model_kind=sub.model_kind,
+            model_config=dict(sub.model_config),
+            state_blob=nn.state_dict_to_bytes(model.state_dict()),
+            flops_per_sample=sub.flops_per_sample,
+            device=device.device_model(),
+            link=device.link_model(),
+            batch_size=batch_size,
+            feature_dim=int(sub.feature_dim),
+        )
 
 
 def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
@@ -229,6 +270,24 @@ class EdgeCluster:
         self._request_counter = 0
         self._request_counter_lock = threading.Lock()
 
+    @classmethod
+    def from_plan(cls, plan, models: list[nn.Module],
+                  time_scale: float = 0.0,
+                  batch_size: int = 64) -> "EdgeCluster":
+        """Boot a cluster straight from a deployment plan.
+
+        ``models`` carries the concrete (trained) modules aligned with
+        ``plan.submodels``; worker ids are the plan's model ids.
+        """
+        if len(models) != len(plan.submodels):
+            raise ValueError(
+                f"plan has {len(plan.submodels)} sub-models but "
+                f"{len(models)} models were supplied")
+        specs = [WorkerSpec.from_plan(plan, sub.model_id, model,
+                                      batch_size=batch_size)
+                 for sub, model in zip(plan.submodels, models)]
+        return cls(specs, time_scale=time_scale)
+
     # ------------------------------------------------------------------
     @property
     def specs(self) -> list[WorkerSpec]:
@@ -281,6 +340,44 @@ class EdgeCluster:
             if status != "ready":
                 raise RuntimeError(f"worker {worker_id} failed to start")
         self._started = True
+
+    def add_worker(self, spec: WorkerSpec, ready_timeout: float = 30.0) -> None:
+        """Register one more worker; spawn it immediately if running.
+
+        This is the replanning primitive: after a device failure the
+        planning layer reassigns the orphaned sub-models and adds fresh
+        workers for them on surviving devices, while the cluster keeps
+        serving.  Raises ``RuntimeError`` (and marks the worker down) if
+        the new process fails to report ready within ``ready_timeout``.
+        """
+        if any(s.worker_id == spec.worker_id for s in self._specs):
+            raise ValueError(f"duplicate worker id {spec.worker_id!r}")
+        self._specs.append(spec)
+        if not self._started:
+            return                     # start() will spawn it with the rest
+        parent, child = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main, args=(spec, child, self._time_scale),
+            daemon=True)
+        process.start()
+        self._processes[spec.worker_id] = process
+        self._conns[spec.worker_id] = parent
+        try:
+            if not parent.poll(ready_timeout):
+                raise RuntimeError(
+                    f"worker {spec.worker_id} not ready within "
+                    f"{ready_timeout}s")
+            status, _ = parent.recv()
+            if status != "ready":
+                raise RuntimeError(
+                    f"worker {spec.worker_id} failed to start: {status!r}")
+        except (EOFError, OSError) as exc:
+            self.mark_down(spec.worker_id, f"failed to start: {exc}")
+            raise RuntimeError(
+                f"worker {spec.worker_id} died during startup") from exc
+        except RuntimeError as exc:
+            self.mark_down(spec.worker_id, str(exc))
+            raise
 
     def shutdown(self) -> None:
         """Stop all workers.  Idempotent, and tolerant of dead workers."""

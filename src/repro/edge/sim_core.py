@@ -33,6 +33,14 @@ class Simulator:
         heapq.heappush(self._queue, (time, next(self._counter), callback))
 
     def run(self, until: float | None = None) -> None:
+        """Run events in time order; ``until`` bounds the clock (inclusive).
+
+        With ``until`` the clock always advances to exactly ``until`` when
+        it returns, even if no event lands there — so horizon-based
+        statistics (e.g. :meth:`FifoResource.utilization`) see the full
+        observation window and repeated ``run(until=...)`` calls resume
+        from the horizon rather than from the last executed event.
+        """
         while self._queue:
             time, _, callback = self._queue[0]
             if until is not None and time > until:
@@ -40,6 +48,8 @@ class Simulator:
             heapq.heappop(self._queue)
             self.now = time
             callback()
+        if until is not None and until > self.now:
+            self.now = until
 
 
 @dataclasses.dataclass
@@ -48,7 +58,11 @@ class FifoResource:
 
     ``acquire`` returns the time at which the request's service *finishes*;
     the caller schedules its completion callback at that time.  Utilization
-    statistics are tracked for reporting.
+    statistics are tracked for reporting.  ``busy_seconds`` is the total
+    service time ever booked; :meth:`busy_within` clamps it to an
+    observation horizon so work scheduled past the horizon (the resource is
+    booked into the future at acquire time) is not counted as utilization
+    inside it.
     """
 
     sim: Simulator
@@ -56,6 +70,9 @@ class FifoResource:
     _free_at: float = 0.0
     busy_seconds: float = 0.0
     served: int = 0
+    # Disjoint busy intervals, merged when back-to-back; bounded by the
+    # number of idle gaps, not by the number of requests.
+    _segments: list[list[float]] = dataclasses.field(default_factory=list)
 
     def acquire(self, service_seconds: float) -> float:
         if service_seconds < 0:
@@ -65,28 +82,48 @@ class FifoResource:
         self._free_at = finish
         self.busy_seconds += service_seconds
         self.served += 1
+        if self._segments and start <= self._segments[-1][1]:
+            self._segments[-1][1] = finish
+        elif service_seconds > 0:
+            self._segments.append([start, finish])
         return finish
+
+    def busy_within(self, horizon: float) -> float:
+        """Service seconds falling inside ``[0, horizon]``."""
+        total = 0.0
+        for start, finish in self._segments:
+            if start >= horizon:
+                break
+            total += min(finish, horizon) - start
+        return total
 
     def utilization(self, horizon: float) -> float:
         if horizon <= 0:
             return 0.0
-        return min(1.0, self.busy_seconds / horizon)
+        return min(1.0, self.busy_within(horizon) / horizon)
 
 
 class Barrier:
-    """Fires a callback once ``expected`` arrivals have occurred."""
+    """Fires a callback once ``expected`` arrivals have occurred.
+
+    Arrivals after the barrier has fired are tolerated and counted in
+    ``late`` rather than raising: a straggler reply landing after degraded
+    fusion already proceeded without it must not kill the event loop.
+    """
 
     def __init__(self, expected: int, callback: Callable[[], None]):
         if expected < 1:
             raise ValueError("expected must be >= 1")
         self.expected = expected
         self.arrived = 0
+        self.late = 0
         self.callback = callback
         self.fired = False
 
     def arrive(self) -> None:
         if self.fired:
-            raise RuntimeError("barrier already fired")
+            self.late += 1
+            return
         self.arrived += 1
         if self.arrived == self.expected:
             self.fired = True

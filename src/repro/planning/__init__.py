@@ -1,0 +1,39 @@
+"""Deployment planning: one declarative plan from partition to serving.
+
+The planning layer closes the paper's Algorithm 1 loop into a single
+artifact: a :class:`DeploymentPlan` (class partition, per-sub-model
+head-pruning number, device mapping, predicted latency/energy/accuracy)
+produced by a :class:`Planner` that composes the class partitioner, the
+analytic head-pruning schedule, greedy device assignment, analytic
+profiling, and the discrete-event simulator — then executed directly:
+:class:`PlannedSystem` boots an edge cluster and inference server from the
+plan, and :func:`replan_on_failure` reassigns a failed device's sub-models
+onto surviving devices' residual capacity at runtime so fusion recovers
+real features instead of zero-filling forever.
+"""
+
+from .execute import PlannedSystem, plan_demo_system
+from .plan import (
+    DeploymentPlan,
+    PlanPrediction,
+    PlannedDevice,
+    PlannedSubModel,
+)
+from .planner import Planner, PlannerConfig, PlanningError, score_plan
+from .replan import ReplanInfeasible, replan_on_failure, residual_capacity
+
+__all__ = [
+    "DeploymentPlan",
+    "PlanPrediction",
+    "PlannedDevice",
+    "PlannedSubModel",
+    "PlannedSystem",
+    "Planner",
+    "PlannerConfig",
+    "PlanningError",
+    "ReplanInfeasible",
+    "plan_demo_system",
+    "replan_on_failure",
+    "residual_capacity",
+    "score_plan",
+]

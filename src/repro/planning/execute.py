@@ -1,0 +1,263 @@
+"""Plan → execution bridge: boot and operate a fleet from a plan.
+
+:class:`PlannedSystem` pairs a :class:`~repro.planning.plan.DeploymentPlan`
+with the concrete modules it describes and turns it into running
+infrastructure: ``make_cluster()`` boots an
+:class:`~repro.edge.runtime.EdgeCluster` (one worker per sub-model, on the
+plan-assigned devices), ``make_server()`` wraps it in a
+:class:`~repro.serving.server.InferenceServer` whose replanner hook calls
+:func:`repro.planning.replan.replan_on_failure` when a device dies and
+spawns replacement workers on the surviving devices — so fusion recovers
+real features instead of zero-filling the dead slots forever.
+
+Because every plan carries a deterministic ``build`` recipe (seeds,
+training protocol), :meth:`PlannedSystem.from_plan` can rebuild the exact
+same weights from nothing but the JSON plan — the round trip
+``plan → JSON → plan → serve`` is lossless.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .. import nn
+from ..data import cifar10_like
+from ..edge.device import DeviceModel
+from ..edge.network import LinkModel
+from ..edge.runtime import MODEL_KINDS, EdgeCluster, WorkerSpec
+from ..models.fusion import FusionConfig, FusionMLP, build_fusion_for
+from ..profiling import model_flops, module_param_count, param_bytes
+from ..serving.demo import _tiny_model, fused_labels, train_demo_system
+from ..serving.server import InferenceServer, ServerConfig
+from ..splitting.class_assignment import balanced_class_partition
+from .plan import DeploymentPlan, PlannedSubModel
+from .planner import Planner, PlannerConfig
+from .replan import replan_on_failure
+
+DEMO_RECIPE = "demo-v1"
+
+
+def _build_model(kind: str, config: dict, rng: np.random.Generator):
+    entry = MODEL_KINDS[kind]
+    cfg = entry.config_from_dict(dict(config))
+    try:
+        return entry.build(cfg, rng=rng)
+    except TypeError:                  # custom kind without an rng kwarg
+        return entry.build(cfg)
+
+
+@dataclasses.dataclass
+class PlannedSystem:
+    """A deployment plan plus the concrete models/fusion it describes."""
+
+    plan: DeploymentPlan
+    models: list[nn.Module]            # aligned with plan.submodels
+    fusion: FusionMLP
+    time_scale: float = 0.0
+
+    def __post_init__(self):
+        # worker_id -> model_id; starts as identity (plan-booted clusters
+        # name workers after their sub-model) and grows with every
+        # replanning respawn ("submodel-0@edge-1" and the like).
+        self._worker_model = {m.model_id: m.model_id
+                              for m in self.plan.submodels}
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        config = self.plan.submodels[0].model_config
+        return (int(config["in_channels"]), int(config["image_size"]),
+                int(config["image_size"]))
+
+    @property
+    def num_classes(self) -> int:
+        return self.plan.num_classes
+
+    def make_cluster(self) -> EdgeCluster:
+        return EdgeCluster.from_plan(self.plan, self.models,
+                                     time_scale=self.time_scale)
+
+    def make_server(self, config: ServerConfig | None = None,
+                    replan: bool = True) -> InferenceServer:
+        """A serving stack for this plan; ``replan=False`` keeps the old
+        zero-fill-forever failure behaviour (the comparison baseline)."""
+        return InferenceServer(self.make_cluster(), self.fusion,
+                               config=config,
+                               replanner=self.replan_hook if replan else None)
+
+    # -- local (in-process) reference predictions ----------------------
+    def local_fused_labels(self, x: np.ndarray,
+                           zero_models: tuple[int, ...] = ()) -> np.ndarray:
+        """Reference fused prediction; ``zero_models`` emulates dead slots."""
+        return fused_labels(self.models, self.fusion, x,
+                            zero_indices=zero_models)
+
+    def local_accuracy(self, x: np.ndarray, y: np.ndarray,
+                       zero_models: tuple[int, ...] = ()) -> float:
+        return float((self.local_fused_labels(x, zero_models) == y).mean())
+
+    def eval_dataset(self):
+        """The (seeded) dataset of the demo recipe, for accuracy checks."""
+        build = self.plan.build
+        if build.get("recipe") != DEMO_RECIPE:
+            raise ValueError("plan has no demo dataset recipe")
+        return cifar10_like(image_size=int(build["image_size"]),
+                            train_per_class=48, test_per_class=16,
+                            noise_std=0.3, seed=self.plan.seed)
+
+    # -- replanning ----------------------------------------------------
+    def replan_hook(self, server: InferenceServer,
+                    down_workers: list[str]) -> dict[str, str] | None:
+        """``InferenceServer`` replanner: respawn orphans on survivors.
+
+        Failure is treated at device granularity (the paper's scenario):
+        every sub-model on a dead worker's device is reassigned via
+        :func:`replan_on_failure` and gets a fresh worker on its new
+        device.  Returns the slot→worker hosting updates, or raises
+        :class:`~repro.planning.replan.ReplanInfeasible` (the server then
+        stays in zero-fill degraded mode).
+        """
+        down_models = {self._worker_model[w] for w in down_workers
+                       if w in self._worker_model}
+        down_devices = {self.plan.mapping[m] for m in down_models
+                        if m in self.plan.mapping}
+        if not down_devices:
+            return None
+        new_plan = replan_on_failure(self.plan, down_devices)
+        moved = {m: d for m, d in new_plan.mapping.items()
+                 if self.plan.mapping[m] != d}
+        model_index = {m.model_id: i
+                       for i, m in enumerate(self.plan.submodels)}
+        hosting: dict[str, str] = {}
+        spawned: list[str] = []
+        try:
+            for model_id, device_id in sorted(moved.items()):
+                worker_id = f"{model_id}@{device_id}"
+                spec = WorkerSpec.from_plan(
+                    new_plan, model_id, self.models[model_index[model_id]],
+                    worker_id=worker_id)
+                server.cluster.add_worker(spec)
+                spawned.append(worker_id)
+                self._worker_model[worker_id] = model_id
+                hosting[model_id] = worker_id
+        except Exception:
+            # Roll back a partial recovery: retire replacements already
+            # spawned so they neither leak as idle processes nor leave
+            # the hosting map split-brained; the plan stays unchanged and
+            # the server keeps zero-filling the failed slots.
+            for worker_id in spawned:
+                server.cluster.mark_down(worker_id, "replan rolled back")
+                self._worker_model.pop(worker_id, None)
+            raise
+        # Retire live co-hosted workers on the failed devices: the device
+        # is considered gone, and their sub-models have moved.
+        for worker_id, model_id in list(self._worker_model.items()):
+            if model_id in moved and worker_id != hosting[model_id] \
+                    and server.cluster.is_alive(worker_id):
+                server.cluster.mark_down(worker_id,
+                                         "device retired by replanning")
+        self.plan = new_plan
+        return hosting
+
+    # -- deterministic rebuild -----------------------------------------
+    @staticmethod
+    def from_plan(plan: DeploymentPlan,
+                  time_scale: float = 0.0) -> "PlannedSystem":
+        """Rebuild models, weights, and fusion from a plan's recipe.
+
+        Every module is constructed from its stored config with the
+        plan-seeded rng, then (for trained recipes) re-trained with the
+        recorded deterministic protocol — so a JSON plan alone is enough
+        to reproduce the exact system that was planned.
+        """
+        models = [_build_model(sub.model_kind, sub.model_config,
+                               np.random.default_rng(plan.seed + index))
+                  for index, sub in enumerate(plan.submodels)]
+        fusion = FusionMLP(FusionConfig.from_dict(dict(plan.fusion_config)),
+                           rng=np.random.default_rng(plan.seed + 1000))
+        build = plan.build
+        if build.get("train_fusion"):
+            if build.get("recipe") != DEMO_RECIPE:
+                raise ValueError(
+                    f"unknown training recipe {build.get('recipe')!r}")
+            train_demo_system(models, fusion,
+                              image_size=int(build["image_size"]),
+                              seed=plan.seed,
+                              fusion_epochs=int(build.get("fusion_epochs", 8)))
+        return PlannedSystem(plan=plan, models=models, fusion=fusion,
+                             time_scale=time_scale)
+
+
+def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
+                     num_classes: int = 10, image_size: int = 8,
+                     seed: int = 0, throughputs: list[float] | None = None,
+                     train_fusion: bool = False, fusion_epochs: int = 8,
+                     time_scale: float = 0.0,
+                     config: PlannerConfig | None = None) -> PlannedSystem:
+    """Plan a small (optionally heterogeneous) serveable demo fleet.
+
+    Builds one tiny sub-model per class group, profiles them, sizes a
+    fleet of ``num_workers`` devices with per-device ``throughputs``
+    multipliers, and runs the :class:`~repro.planning.planner.Planner`
+    (greedy assignment + DES scoring) to produce an executable
+    :class:`DeploymentPlan`.  Device budgets leave enough residual memory
+    and energy that one failed device's sub-model fits on a survivor —
+    the replanning path is exercisable out of the box.
+    """
+    if throughputs is None:
+        throughputs = [1.0 / (1 + 0.5 * i) for i in range(num_workers)]
+    if len(throughputs) != num_workers:
+        raise ValueError("need one throughput multiplier per worker")
+
+    models = [_tiny_model(model_kind, num_classes, image_size,
+                          np.random.default_rng(seed + index))
+              for index in range(num_workers)]
+    fusion = build_fusion_for([m.feature_dim() for m in models],
+                              num_classes=num_classes,
+                              rng=np.random.default_rng(seed + 1000))
+    build = {"recipe": DEMO_RECIPE, "model_kind": model_kind,
+             "image_size": image_size, "train_fusion": bool(train_fusion),
+             "fusion_epochs": fusion_epochs}
+    accuracy = None
+    if train_fusion:
+        dataset = train_demo_system(models, fusion, image_size, seed,
+                                    fusion_epochs)
+
+    partition = balanced_class_partition(num_classes, num_workers,
+                                         rng=np.random.default_rng(seed))
+    submodels = [
+        PlannedSubModel(model_id=f"submodel-{index}",
+                        classes=tuple(partition[index]),
+                        hp=0,
+                        size_bytes=param_bytes(module_param_count(model)),
+                        flops_per_sample=float(model_flops(model_kind,
+                                                           model.config)),
+                        feature_dim=int(model.feature_dim()),
+                        model_kind=model_kind,
+                        model_config=model.config.to_dict())
+        for index, model in enumerate(models)]
+
+    # Budgets sized so every device can absorb one orphaned sub-model on
+    # top of its own (the replanning headroom).
+    max_size = max(m.size_bytes for m in submodels)
+    max_flops = max(m.flops_per_sample for m in submodels)
+    planner_config = config or PlannerConfig(seed=seed)
+    devices = [DeviceModel(device_id=f"edge-{index}",
+                           macs_per_second=1e12 * factor,
+                           memory_bytes=3 * max_size,
+                           energy_flops=3 * max_flops
+                           * max(1, planner_config.num_samples))
+               for index, factor in enumerate(throughputs)]
+    fusion_device = DeviceModel(device_id="fusion", macs_per_second=1e12)
+    link = LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0)
+
+    planner = Planner(devices, fusion_device, link, planner_config)
+    if train_fusion:
+        labels = fused_labels(models, fusion, dataset.x_test)
+        accuracy = float((labels == dataset.y_test).mean())
+    plan = planner.plan_submodels(num_classes, partition, submodels,
+                                  build=build, accuracy=accuracy)
+    return PlannedSystem(plan=plan, models=models, fusion=fusion,
+                         time_scale=time_scale)

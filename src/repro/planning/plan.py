@@ -1,0 +1,299 @@
+"""The :class:`DeploymentPlan`: one declarative object for a whole fleet.
+
+A plan captures everything the paper's Algorithm 1 decides — the class
+partition, each sub-model's head-pruning number and resource footprint,
+the device fleet, the sub-model→device mapping — plus the predicted
+latency/energy/accuracy the planner scored it with.  The same plan object
+drives the analytic simulator (:meth:`DeploymentPlan.deployment_spec`),
+the process-based emulation (``WorkerSpec.from_plan`` /
+``EdgeCluster.from_plan``), and the serving layer
+(:class:`repro.planning.execute.PlannedSystem`), and it round-trips
+through JSON so operators can version, diff, and ship it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from ..assignment import (
+    AssignmentPlan,
+    DeviceSpec,
+    InfeasibleAssignment,
+    SubModelSpec,
+    validate_plan,
+)
+from ..edge.device import DeviceModel
+from ..edge.network import DEFAULT_OVERHEAD_S, LinkModel, StarTopology, TC_CAP_BPS
+from ..edge.simulator import DeploymentSpec, SubModelProfile
+from ..splitting.class_assignment import validate_partition
+
+FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedSubModel:
+    """One sub-model's identity, footprint, and rebuild recipe."""
+
+    model_id: str
+    classes: tuple[int, ...]           # class subset this sub-model covers
+    hp: int                            # head-pruning number (0 = unpruned)
+    size_bytes: int
+    flops_per_sample: float
+    feature_dim: int                   # width of forward_features output
+    model_kind: str                    # repro.edge.runtime.MODEL_KINDS key
+    model_config: dict                 # exact config dict to rebuild the module
+
+    def to_spec(self) -> SubModelSpec:
+        """The assignment-problem view of this sub-model."""
+        return SubModelSpec(model_id=self.model_id,
+                            size_bytes=self.size_bytes,
+                            flops_per_sample=self.flops_per_sample,
+                            classes=self.classes)
+
+    def profile(self) -> SubModelProfile:
+        """The DES-simulator view of this sub-model."""
+        return SubModelProfile(model_id=self.model_id,
+                               flops_per_sample=self.flops_per_sample,
+                               feature_dim=self.feature_dim)
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["classes"] = list(self.classes)
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "PlannedSubModel":
+        data = dict(data)
+        data["classes"] = tuple(int(c) for c in data["classes"])
+        return PlannedSubModel(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedDevice:
+    """One device's resource envelope plus its uplink parameters."""
+
+    device_id: str
+    macs_per_second: float
+    memory_bytes: int
+    energy_flops: float
+    link_bandwidth_bps: float = TC_CAP_BPS
+    link_overhead_s: float = DEFAULT_OVERHEAD_S
+
+    def device_model(self) -> DeviceModel:
+        return DeviceModel(device_id=self.device_id,
+                           macs_per_second=self.macs_per_second,
+                           memory_bytes=self.memory_bytes,
+                           energy_flops=self.energy_flops)
+
+    def link_model(self) -> LinkModel:
+        return LinkModel(bandwidth_bps=self.link_bandwidth_bps,
+                         overhead_seconds=self.link_overhead_s)
+
+    def to_spec(self) -> DeviceSpec:
+        return DeviceSpec(device_id=self.device_id,
+                          memory_bytes=self.memory_bytes,
+                          energy_flops=self.energy_flops)
+
+    @staticmethod
+    def from_device(device: DeviceModel,
+                    link: LinkModel | None = None) -> "PlannedDevice":
+        link = link or LinkModel()
+        return PlannedDevice(device_id=device.device_id,
+                             macs_per_second=device.macs_per_second,
+                             memory_bytes=device.memory_bytes,
+                             energy_flops=device.energy_flops,
+                             link_bandwidth_bps=link.bandwidth_bps,
+                             link_overhead_s=link.overhead_seconds)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "PlannedDevice":
+        return PlannedDevice(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanPrediction:
+    """What the planner expects the deployment to deliver."""
+
+    latency_s: float                   # mean per-sample end-to-end latency
+    max_latency_s: float
+    makespan_s: float
+    throughput_sps: float              # samples / second over the DES run
+    energy_j: float                    # fleet-wide joules for the DES run
+    accuracy: float | None = None      # None when no trained system exists
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "PlanPrediction":
+        return PlanPrediction(**data)
+
+
+@dataclasses.dataclass
+class DeploymentPlan:
+    """A complete, executable deployment decision (Algorithm 1's output).
+
+    ``mapping`` assigns every sub-model to a device; several sub-models may
+    share one device.  ``build`` is a free-form recipe dict recording how
+    the concrete model weights are (re)produced — deterministic seeds make
+    a JSON plan sufficient to reboot an identical fleet.  ``history``
+    accumulates replanning events (see :func:`repro.planning.replan.
+    replan_on_failure`) so a recovered plan documents what failed and what
+    moved.
+    """
+
+    num_classes: int
+    partition: list[list[int]]
+    submodels: list[PlannedSubModel]
+    devices: list[PlannedDevice]
+    mapping: dict[str, str]            # model_id -> device_id
+    fusion_device: PlannedDevice
+    fusion_flops: float
+    fusion_config: dict                # repro.models.fusion.FusionConfig dict
+    num_samples: int = 1               # workload sizing used for assignment
+    seed: int = 0
+    prediction: PlanPrediction | None = None
+    build: dict = dataclasses.field(default_factory=dict)
+    history: list[dict] = dataclasses.field(default_factory=list)
+    format_version: int = FORMAT_VERSION
+
+    # -- lookups -------------------------------------------------------
+    @property
+    def model_ids(self) -> list[str]:
+        return [m.model_id for m in self.submodels]
+
+    @property
+    def device_ids(self) -> list[str]:
+        return [d.device_id for d in self.devices]
+
+    def submodel(self, model_id: str) -> PlannedSubModel:
+        for model in self.submodels:
+            if model.model_id == model_id:
+                return model
+        raise KeyError(f"unknown sub-model {model_id!r}")
+
+    def device(self, device_id: str) -> PlannedDevice:
+        for dev in self.devices:
+            if dev.device_id == device_id:
+                return dev
+        if device_id == self.fusion_device.device_id:
+            return self.fusion_device
+        raise KeyError(f"unknown device {device_id!r}")
+
+    def device_of(self, model_id: str) -> str:
+        return self.mapping[model_id]
+
+    def models_on(self, device_id: str) -> list[str]:
+        return [m for m, d in self.mapping.items() if d == device_id]
+
+    # -- derived views -------------------------------------------------
+    def assignment_plan(self) -> AssignmentPlan:
+        """Residual-resource view of the mapping (Eq. 1 bookkeeping)."""
+        residual_memory = {d.device_id: d.memory_bytes for d in self.devices}
+        residual_energy = {d.device_id: float(d.energy_flops)
+                           for d in self.devices}
+        for model_id, device_id in self.mapping.items():
+            model = self.submodel(model_id)
+            residual_memory[device_id] -= model.size_bytes
+            residual_energy[device_id] -= (model.flops_per_sample
+                                           * self.num_samples)
+        return AssignmentPlan(mapping=dict(self.mapping),
+                              residual_memory=residual_memory,
+                              residual_energy=residual_energy)
+
+    def deployment_spec(self) -> DeploymentSpec:
+        """The DES-simulator view of this plan (for scoring/what-ifs)."""
+        links = {d.device_id: d.link_model() for d in self.devices}
+        links[self.fusion_device.device_id] = self.fusion_device.link_model()
+        return DeploymentSpec(
+            devices=[d.device_model() for d in self.devices],
+            placement=dict(self.mapping),
+            profiles={m.model_id: m.profile() for m in self.submodels},
+            fusion_device=self.fusion_device.device_model(),
+            fusion_flops=self.fusion_flops,
+            topology=StarTopology(device_links=links))
+
+    def feature_dims(self) -> dict[str, int]:
+        return {m.model_id: m.feature_dim for m in self.submodels}
+
+    def validate(self) -> None:
+        """Raise if the plan is internally inconsistent or over capacity."""
+        validate_partition(self.partition, self.num_classes)
+        if sorted(self.mapping) != sorted(self.model_ids):
+            raise InfeasibleAssignment(
+                "mapping must place every sub-model exactly once")
+        known = set(self.device_ids)
+        for model_id, device_id in self.mapping.items():
+            if device_id not in known:
+                raise InfeasibleAssignment(
+                    f"sub-model {model_id!r} mapped to unknown device "
+                    f"{device_id!r}")
+        plan = AssignmentPlan(mapping=dict(self.mapping),
+                              residual_memory={}, residual_energy={})
+        validate_plan(plan, [d.to_spec() for d in self.devices],
+                      [m.to_spec() for m in self.submodels],
+                      num_samples=self.num_samples)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "num_classes": self.num_classes,
+            "partition": [list(group) for group in self.partition],
+            "submodels": [m.to_dict() for m in self.submodels],
+            "devices": [d.to_dict() for d in self.devices],
+            "mapping": dict(self.mapping),
+            "fusion_device": self.fusion_device.to_dict(),
+            "fusion_flops": self.fusion_flops,
+            "fusion_config": dict(self.fusion_config),
+            "num_samples": self.num_samples,
+            "seed": self.seed,
+            "prediction": None if self.prediction is None
+            else self.prediction.to_dict(),
+            "build": dict(self.build),
+            "history": [dict(event) for event in self.history],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "DeploymentPlan":
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported plan format_version {version!r}")
+        prediction = data.get("prediction")
+        return DeploymentPlan(
+            num_classes=int(data["num_classes"]),
+            partition=[[int(c) for c in group] for group in data["partition"]],
+            submodels=[PlannedSubModel.from_dict(m) for m in data["submodels"]],
+            devices=[PlannedDevice.from_dict(d) for d in data["devices"]],
+            mapping={str(m): str(d) for m, d in data["mapping"].items()},
+            fusion_device=PlannedDevice.from_dict(data["fusion_device"]),
+            fusion_flops=float(data["fusion_flops"]),
+            fusion_config=dict(data["fusion_config"]),
+            num_samples=int(data.get("num_samples", 1)),
+            seed=int(data.get("seed", 0)),
+            prediction=None if prediction is None
+            else PlanPrediction.from_dict(prediction),
+            build=dict(data.get("build", {})),
+            history=[dict(event) for event in data.get("history", [])],
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "DeploymentPlan":
+        return DeploymentPlan.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "DeploymentPlan":
+        return DeploymentPlan.from_json(Path(path).read_text())

@@ -11,6 +11,7 @@ from .flops import (
     detailed_flops,
     fusion_flops,
     mlp_flops,
+    model_flops,
     paper_flops,
     paper_flops_breakdown,
     snn_flops,
@@ -37,6 +38,7 @@ __all__ = [
     "inference_energy_flops",
     "inference_energy_joules",
     "mlp_flops",
+    "model_flops",
     "module_param_count",
     "module_size_mb",
     "paper_flops",

@@ -52,6 +52,24 @@ def _tiny_model(kind: str, num_classes: int, image_size: int,
                    "choose 'vit', 'vgg', or 'snn'")
 
 
+def fused_labels(models: list[nn.Module], fusion: FusionMLP, x: np.ndarray,
+                 zero_indices: tuple[int, ...] = ()) -> np.ndarray:
+    """Reference fused prediction computed in-process (no cluster).
+
+    ``zero_indices`` zero-fills those sub-models' feature slots, matching
+    the server's degraded-fusion path exactly.  Shared by the demo and
+    planning layers so the degraded-fusion reference exists only once.
+    """
+    chunks = []
+    for index, model in enumerate(models):
+        feats = extract_features(model, x)
+        if index in zero_indices:
+            feats = np.zeros_like(feats)
+        chunks.append(feats)
+    logits = fusion.predict(np.concatenate(chunks, axis=-1))
+    return logits.argmax(axis=-1)
+
+
 @dataclasses.dataclass
 class DemoSystem:
     """A ready-to-serve fleet: worker specs, local twins, and fusion."""
@@ -68,19 +86,37 @@ class DemoSystem:
 
     def local_fused_labels(self, x: np.ndarray,
                            zero_workers: tuple[int, ...] = ()) -> np.ndarray:
-        """Reference prediction computed in-process (no cluster).
+        """Reference prediction; ``zero_workers`` emulates dead workers."""
+        return fused_labels(self.models, self.fusion, x,
+                            zero_indices=zero_workers)
 
-        ``zero_workers`` zero-fills those workers' feature slots, matching
-        the server's degraded-fusion path exactly.
-        """
-        chunks = []
-        for index, model in enumerate(self.models):
-            feats = extract_features(model, x)
-            if index in zero_workers:
-                feats = np.zeros_like(feats)
-            chunks.append(feats)
-        logits = self.fusion.predict(np.concatenate(chunks, axis=-1))
-        return logits.argmax(axis=-1)
+
+def train_demo_system(models: list[nn.Module], fusion: FusionMLP,
+                      image_size: int, seed: int, fusion_epochs: int = 8):
+    """The deterministic demo training protocol; returns the dataset used.
+
+    First gives each sub-model informative features (brief classifier
+    training), then fits the fusion MLP on the frozen concatenated
+    features — mirroring the paper's train-then-fuse protocol at demo
+    scale.  Fully seeded, so the same (models, seed, epochs) always
+    reproduces the same weights; the planning layer relies on this to
+    rebuild a trained system from a JSON plan recipe.
+    """
+    if fusion.config.num_classes != 10:
+        raise ValueError("train_fusion uses the 10-class synthetic set; "
+                         "pass num_classes=10")
+    dataset = cifar10_like(image_size=image_size, train_per_class=48,
+                           test_per_class=16, noise_std=0.3, seed=seed)
+    for index, model in enumerate(models):
+        train_classifier(model, dataset.x_train, dataset.y_train,
+                         TrainConfig(epochs=fusion_epochs, lr=3e-3,
+                                     seed=seed + index))
+    features = np.concatenate(
+        [extract_features(m, dataset.x_train) for m in models], axis=-1)
+    train_classifier(fusion, features, dataset.y_train,
+                     TrainConfig(epochs=2 * fusion_epochs, lr=3e-3,
+                                 seed=seed))
+    return dataset
 
 
 def build_demo_system(num_workers: int = 2, model_kind: str = "vit",
@@ -101,23 +137,7 @@ def build_demo_system(num_workers: int = 2, model_kind: str = "vit",
                               num_classes=num_classes,
                               rng=np.random.default_rng(seed + 1000))
     if train_fusion:
-        if num_classes != 10:
-            raise ValueError("train_fusion uses the 10-class synthetic set; "
-                             "pass num_classes=10")
-        dataset = cifar10_like(image_size=image_size, train_per_class=48,
-                               test_per_class=16, noise_std=0.3, seed=seed)
-        # First give each sub-model informative features (brief classifier
-        # training), then fit the fusion MLP on the frozen features —
-        # mirroring the paper's train-then-fuse protocol at demo scale.
-        for index, model in enumerate(models):
-            train_classifier(model, dataset.x_train, dataset.y_train,
-                             TrainConfig(epochs=fusion_epochs, lr=3e-3,
-                                         seed=seed + index))
-        features = np.concatenate(
-            [extract_features(m, dataset.x_train) for m in models], axis=-1)
-        train_classifier(fusion, features, dataset.y_train,
-                         TrainConfig(epochs=2 * fusion_epochs, lr=3e-3,
-                                     seed=seed))
+        train_demo_system(models, fusion, image_size, seed, fusion_epochs)
         # Refresh the worker specs so they ship the trained weights.
         for spec, model in zip(specs, models):
             spec.state_blob = nn.state_dict_to_bytes(model.state_dict())

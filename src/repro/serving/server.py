@@ -13,6 +13,15 @@ The server owns three moving parts:
   answering in degraded mode — the runtime version of
   ``examples/fault_tolerance.py``'s offline analysis.
 
+Fusion layout is tracked as **slots**: one slot per sub-model, in the
+order the fusion MLP was trained on, each currently hosted by some worker.
+By default slot ids equal the initial worker ids (one sub-model per
+worker).  An optional ``replanner`` hook (wired up by
+:class:`repro.planning.execute.PlannedSystem`) is invoked when hosts go
+down; it may spawn replacement workers (``EdgeCluster.add_worker``) and
+return a new slot→worker hosting map, after which fusion recovers real
+features for the failed slots instead of zero-filling them forever.
+
 Every request carries a :class:`~repro.serving.telemetry.RequestTelemetry`
 breakdown; :meth:`InferenceServer.stats` aggregates them into a
 :class:`~repro.serving.telemetry.ServingReport`.
@@ -24,6 +33,7 @@ import collections
 import dataclasses
 import threading
 import time
+from typing import Callable
 
 import numpy as np
 
@@ -51,7 +61,9 @@ class InferenceServer:
     """Queue -> dynamic batcher -> concurrent scatter/gather -> fusion."""
 
     def __init__(self, cluster: EdgeCluster, fusion,
-                 config: ServerConfig | None = None):
+                 config: ServerConfig | None = None,
+                 replanner: Callable[["InferenceServer", list[str]],
+                                     dict[str, str] | None] | None = None):
         self.config = config or ServerConfig()
         self._cluster = cluster
         self._fusion = fusion
@@ -65,18 +77,38 @@ class InferenceServer:
         self._started_at = 0.0
         self._stopped_at: float | None = None
         self._health_snapshot: dict[str, str] | None = None
-        self._feature_dims: dict[str, int] = {}
         self._input_shape: tuple[int, ...] | None = None
+        # Fusion layout: one slot per sub-model (captured at first start),
+        # each hosted by some worker.  Replanning rewrites the hosting.
+        self._replanner = replanner
+        self._slots: list[str] = []
+        self._hosting: dict[str, str] = {}
+        self._slot_dims: dict[str, int] = {}
+        self._replan_attempted: set[str] = set()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         if self._thread is not None:
             raise RuntimeError("server already started")
-        if not self._cluster.started:
+        cluster_was_down = not self._cluster.started
+        if cluster_was_down:
             self._cluster.start()
         if self._batcher.closed:       # restarting after stop(): fresh queue
             self._batcher = DynamicBatcher(self.config.batching)
-        self._feature_dims = self._cluster.feature_dims()
+        dims = self._cluster.feature_dims()
+        if not self._slots:
+            # First start: one slot per worker, in cluster (= fusion
+            # training) order.  Kept across restarts so recovery workers
+            # added by replanning never become extra slots.
+            self._slots = list(self._cluster.worker_ids)
+            self._slot_dims = {slot: dims[slot] for slot in self._slots}
+        if cluster_was_down or not self._hosting:
+            # Fresh processes for every spec: identity hosting is correct
+            # again.  When the cluster survived the stop (shutdown_cluster
+            # =False), keep the replanned hosting — the original workers
+            # may still be dead.
+            self._hosting = {slot: slot for slot in self._slots}
+            self._replan_attempted = set()
         self._input_shape = self._expected_input_shape()
         self._stopped_at = None
         self._health_snapshot = None
@@ -161,6 +193,15 @@ class InferenceServer:
         """The underlying fleet (e.g. for health probes or kill injection)."""
         return self._cluster
 
+    @property
+    def slots(self) -> list[str]:
+        """Fusion-layout slot ids (one per sub-model), in fusion order."""
+        return list(self._slots)
+
+    def hosting(self) -> dict[str, str]:
+        """Current slot→worker hosting map (identity until a replan)."""
+        return dict(self._hosting)
+
     def worker_health(self) -> dict[str, str]:
         """``worker_id -> "up"`` or the reason the worker was marked down."""
         if self._health_snapshot is not None:
@@ -214,10 +255,11 @@ class InferenceServer:
             telemetry.batch_samples = batch.num_samples
         x = batch.concatenated()
 
-        # Scatter to every live worker under one shared request id.
+        # Scatter to every live hosting worker under one shared request id.
         request_id = self._cluster.next_request_id()
+        hosts = sorted(set(self._hosting.values()))
         pending: set[str] = set()
-        for worker_id in self._cluster.worker_ids:
+        for worker_id in hosts:
             # submit() detects dead processes / closed pipes itself and
             # marks the worker down, so no liveness pre-check here.
             if self._cluster.submit(worker_id, request_id, x):
@@ -228,9 +270,10 @@ class InferenceServer:
             now = time.perf_counter()
             for future in batch.requests:
                 future.telemetry.completed_at = now
-                future.telemetry.workers_down = tuple(self._cluster.worker_ids)
+                future.telemetry.workers_down = tuple(self._slots)
                 future.set_error(RequestError("no live workers"))
                 self._record(future.telemetry)
+            self._maybe_replan()
             return
 
         # Gather concurrently: poll all pipes, detect deaths and deadline
@@ -279,18 +322,19 @@ class InferenceServer:
                 self._record(future.telemetry)
             return
 
-        # Degraded fusion: zero-fill the feature slot of every worker that
-        # did not answer, preserving the concatenation layout the fusion
-        # MLP was trained on.
-        missing = tuple(wid for wid in self._cluster.worker_ids
-                        if wid not in features)
+        # Degraded fusion: zero-fill the feature slot of every sub-model
+        # whose hosting worker did not answer, preserving the concatenation
+        # layout the fusion MLP was trained on.
+        missing = tuple(slot for slot in self._slots
+                        if self._hosting[slot] not in features)
         ordered = []
-        for worker_id in self._cluster.worker_ids:
-            if worker_id in features:
-                ordered.append(features[worker_id])
+        for slot in self._slots:
+            host = self._hosting[slot]
+            if host in features:
+                ordered.append(features[host])
             else:
                 ordered.append(np.zeros(
-                    (len(x), self._feature_dims[worker_id]), dtype=np.float32))
+                    (len(x), self._slot_dims[slot]), dtype=np.float32))
         fusion_start = time.perf_counter()
         logits = predict(self._fusion, np.concatenate(ordered, axis=-1),
                          keep_workspaces=True)
@@ -314,3 +358,37 @@ class InferenceServer:
             telemetry.workers_down = missing
             future.set_result(chunk.copy())
             self._record(telemetry)
+
+        # Degraded answers went out above; now try to recover the failed
+        # slots so the *next* batch fuses real features again.
+        if missing:
+            self._maybe_replan()
+
+    def _maybe_replan(self) -> None:
+        """Invoke the replanner once per newly-down hosting worker.
+
+        The hook runs on the serving thread, may spawn replacement workers
+        via ``cluster.add_worker``, and returns an updated slot→worker
+        hosting map (or ``None`` to stay in zero-fill degraded mode).  A
+        host is only attempted once: a failed or infeasible replan must
+        not turn into a respawn storm.
+        """
+        if self._replanner is None:
+            return
+        down = set(self._cluster.down_workers)
+        affected = sorted(
+            host for host in set(self._hosting.values())
+            if (host in down or not self._cluster.is_alive(host))
+            and host not in self._replan_attempted)
+        if not affected:
+            return
+        self._replan_attempted.update(affected)
+        try:
+            updated = self._replanner(self, affected)
+        except Exception:              # infeasible/failed replan: degrade
+            updated = None
+        if updated:
+            # Only known slots may be re-hosted; anything else is dropped.
+            self._hosting.update({slot: worker
+                                  for slot, worker in updated.items()
+                                  if slot in self._hosting})

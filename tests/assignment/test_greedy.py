@@ -90,6 +90,31 @@ class TestGreedyAssign:
         plan = greedy_assign([device(0)], [], num_samples=1)
         assert plan.mapping == {}
 
+    def test_rejected_device_still_hosts_later_smaller_model(self):
+        # Regression: d0 lacks memory for the big m0 but is the only device
+        # with energy left for the small m1.  The old code dropped d0 from
+        # the fleet while placing m0, then reported this clearly feasible
+        # instance as InfeasibleAssignment.
+        devices = [device(0, mem=10, energy=1000.0),
+                   device(1, mem=100, energy=50.0)]
+        models = [submodel(0, size=50, flops=40.0),
+                  submodel(1, size=10, flops=30.0)]
+        plan = greedy_assign(devices, models, num_samples=1)
+        assert plan.mapping == {"m0": "d1", "m1": "d0"}
+        validate_plan(plan, devices, models, num_samples=1)
+
+    def test_per_model_skip_keeps_device_for_every_later_model(self):
+        # One memory-tight device must absorb all the small tail models
+        # after being rejected by the head model.
+        devices = [device(0, mem=8, energy=1000.0),
+                   device(1, mem=60, energy=100.0)]
+        models = [submodel(0, size=60, flops=90.0)] + [
+            submodel(i, size=2, flops=5.0) for i in range(1, 5)]
+        plan = greedy_assign(devices, models, num_samples=1)
+        assert plan.mapping["m0"] == "d1"
+        assert all(plan.mapping[f"m{i}"] == "d0" for i in range(1, 5))
+        validate_plan(plan, devices, models, num_samples=1)
+
 
 class TestTryGreedyAssign:
     def test_returns_plan_when_feasible(self):

@@ -24,18 +24,40 @@ class TestCLI:
         out = run_cli(capsys, "flops", "--mode", "algorithm1")
         assert "N=10" in out
 
-    def test_plan_default(self, capsys):
-        out = run_cli(capsys, "plan")
+    def test_curve_default(self, capsys):
+        out = run_cli(capsys, "curve")
         assert "latency_s" in out
 
-    def test_plan_small_model(self, capsys):
-        out = run_cli(capsys, "plan", "--model", "vit-small")
+    def test_curve_small_model(self, capsys):
+        out = run_cli(capsys, "curve", "--model", "vit-small")
         assert "latency_s" in out
 
-    def test_plan_explicit_budget(self, capsys):
-        out = run_cli(capsys, "plan", "--model", "vit-base",
+    def test_curve_explicit_budget(self, capsys):
+        out = run_cli(capsys, "curve", "--model", "vit-base",
                       "--budget-mb", "300")
         assert "total_memory_mb" in out
+
+    def test_plan_emits_json(self, capsys):
+        import json
+
+        out = run_cli(capsys, "plan", "--workers", "2")
+        plan = json.loads(out)
+        assert plan["format_version"] == 1
+        assert len(plan["submodels"]) == 2
+        assert set(plan["mapping"]) == {"submodel-0", "submodel-1"}
+
+    def test_plan_writes_file(self, capsys, tmp_path):
+        from repro.planning import DeploymentPlan
+
+        path = tmp_path / "plan.json"
+        out = run_cli(capsys, "plan", "--workers", "3",
+                      "--throughputs", "1.0,0.5,0.25",
+                      "--out", str(path))
+        assert "plan written to" in out
+        plan = DeploymentPlan.load(path)
+        plan.validate()
+        assert len(plan.devices) == 3
+        assert plan.prediction is not None
 
     def test_communication(self, capsys):
         out = run_cli(capsys, "communication")
@@ -56,4 +78,4 @@ class TestCLI:
 
     def test_unknown_model_exits(self):
         with pytest.raises(SystemExit):
-            main(["plan", "--model", "vit-giant"])
+            main(["curve", "--model", "vit-giant"])

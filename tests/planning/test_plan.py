@@ -1,0 +1,145 @@
+"""DeploymentPlan data model: lookups, validation, JSON round trip."""
+
+import pytest
+
+from repro.assignment import InfeasibleAssignment
+from repro.edge.simulator import simulate_inference
+from repro.planning import DeploymentPlan, PlannedDevice, PlannedSubModel
+
+
+def make_submodel(i, size=1000, flops=1e6, classes=(0, 1), dim=8):
+    return PlannedSubModel(model_id=f"submodel-{i}", classes=tuple(classes),
+                           hp=0, size_bytes=size, flops_per_sample=flops,
+                           feature_dim=dim, model_kind="vit",
+                           model_config={"image_size": 8, "in_channels": 3})
+
+
+def make_device(i, mem=10_000, energy=1e9, macs=1e12):
+    return PlannedDevice(device_id=f"edge-{i}", macs_per_second=macs,
+                         memory_bytes=mem, energy_flops=energy,
+                         link_bandwidth_bps=1e9, link_overhead_s=0.0)
+
+
+def make_plan(num_devices=2, **overrides):
+    submodels = [make_submodel(0, classes=(0, 1)),
+                 make_submodel(1, classes=(2, 3))]
+    devices = [make_device(i) for i in range(num_devices)]
+    defaults = dict(
+        num_classes=4,
+        partition=[[0, 1], [2, 3]],
+        submodels=submodels,
+        devices=devices,
+        mapping={"submodel-0": "edge-0",
+                 "submodel-1": devices[-1].device_id},
+        fusion_device=PlannedDevice(
+            device_id="fusion", macs_per_second=1e12, memory_bytes=10_000,
+            energy_flops=1e9, link_bandwidth_bps=1e9, link_overhead_s=0.0),
+        fusion_flops=1e4,
+        fusion_config={"input_dim": 16, "num_classes": 4, "shrink": 0.5,
+                       "name": "fusion-mlp"},
+    )
+    defaults.update(overrides)
+    return DeploymentPlan(**defaults)
+
+
+class TestLookups:
+    def test_submodel_and_device(self):
+        plan = make_plan()
+        assert plan.submodel("submodel-1").classes == (2, 3)
+        assert plan.device("edge-0").memory_bytes == 10_000
+        assert plan.device("fusion").device_id == "fusion"
+        with pytest.raises(KeyError):
+            plan.submodel("nope")
+        with pytest.raises(KeyError):
+            plan.device("nope")
+
+    def test_models_on_and_device_of(self):
+        plan = make_plan(num_devices=1,
+                         mapping={"submodel-0": "edge-0",
+                                  "submodel-1": "edge-0"})
+        assert plan.models_on("edge-0") == ["submodel-0", "submodel-1"]
+        assert plan.device_of("submodel-1") == "edge-0"
+
+    def test_feature_dims(self):
+        assert make_plan().feature_dims() == {"submodel-0": 8,
+                                              "submodel-1": 8}
+
+
+class TestValidate:
+    def test_valid_plan_passes(self):
+        make_plan().validate()
+
+    def test_unmapped_submodel_rejected(self):
+        plan = make_plan(mapping={"submodel-0": "edge-0"})
+        with pytest.raises(InfeasibleAssignment):
+            plan.validate()
+
+    def test_unknown_device_rejected(self):
+        plan = make_plan(mapping={"submodel-0": "edge-0",
+                                  "submodel-1": "ghost"})
+        with pytest.raises(InfeasibleAssignment):
+            plan.validate()
+
+    def test_over_memory_rejected(self):
+        plan = make_plan(num_devices=1,
+                         submodels=[make_submodel(0, size=8_000,
+                                                  classes=(0, 1)),
+                                    make_submodel(1, size=8_000,
+                                                  classes=(2, 3))],
+                         mapping={"submodel-0": "edge-0",
+                                  "submodel-1": "edge-0"})
+        with pytest.raises(InfeasibleAssignment):
+            plan.validate()
+
+    def test_bad_partition_rejected(self):
+        plan = make_plan(partition=[[0, 1], [1, 3]])
+        with pytest.raises(ValueError):
+            plan.validate()
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        plan = make_plan()
+        again = DeploymentPlan.from_dict(plan.to_dict())
+        assert again.to_dict() == plan.to_dict()
+        assert again.submodels == plan.submodels
+        assert again.devices == plan.devices
+
+    def test_json_round_trip(self):
+        plan = make_plan()
+        again = DeploymentPlan.from_json(plan.to_json())
+        assert again.to_dict() == plan.to_dict()
+
+    def test_save_load(self, tmp_path):
+        plan = make_plan()
+        path = plan.save(tmp_path / "plan.json")
+        again = DeploymentPlan.load(path)
+        assert again.to_dict() == plan.to_dict()
+        again.validate()
+
+    def test_unsupported_version_rejected(self):
+        data = make_plan().to_dict()
+        data["format_version"] = 999
+        with pytest.raises(ValueError):
+            DeploymentPlan.from_dict(data)
+
+    def test_history_and_build_survive(self):
+        plan = make_plan(build={"recipe": "demo-v1", "image_size": 8},
+                         history=[{"kind": "replan", "down_devices": ["x"]}])
+        again = DeploymentPlan.from_json(plan.to_json())
+        assert again.build["recipe"] == "demo-v1"
+        assert again.history[0]["kind"] == "replan"
+
+
+class TestDerivedViews:
+    def test_assignment_plan_residuals(self):
+        plan = make_plan()
+        residuals = plan.assignment_plan()
+        assert residuals.residual_memory["edge-0"] == 10_000 - 1000
+        assert residuals.residual_energy["edge-1"] == pytest.approx(1e9 - 1e6)
+
+    def test_deployment_spec_simulates(self):
+        plan = make_plan()
+        result = simulate_inference(plan.deployment_spec(), num_samples=2)
+        assert len(result.latencies) == 2
+        assert result.makespan > 0

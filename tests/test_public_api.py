@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.serving",
+    "repro.planning",
 ]
 
 MODULES = SUBPACKAGES + [
@@ -44,6 +45,8 @@ MODULES = SUBPACKAGES + [
     "repro.baselines.split_cnn", "repro.baselines.split_snn",
     "repro.serving.batcher", "repro.serving.server", "repro.serving.loadgen",
     "repro.serving.telemetry", "repro.serving.demo",
+    "repro.planning.plan", "repro.planning.planner", "repro.planning.replan",
+    "repro.planning.execute",
     "repro.cli",
 ]
 
