@@ -1,8 +1,8 @@
 """Serving-layer CI smoke: sustained load, batching win, degraded fusion.
 
-Run directly (CI does)::
+Run directly (CI does, once per transport)::
 
-    PYTHONPATH=src python benchmarks/serving_smoke.py
+    PYTHONPATH=src python benchmarks/serving_smoke.py [--transport inprocess]
 
 Against a 2-worker emulated fleet at ``time_scale=0`` it checks that:
 
@@ -14,12 +14,18 @@ Against a 2-worker emulated fleet at ``time_scale=0`` it checks that:
 * hard-killing a worker mid-run yields **degraded answers, not failures**
   (every request still served, the dead worker marked down).
 
+The ``--transport`` flag reruns the whole gauntlet on a different worker
+substrate (``multiprocess``, ``inprocess``, ``tcp``) — CI runs a matrix
+over it, so every transport keeps passing the same end-to-end bar.
+
 Exits non-zero on any violation, so CI fails loudly.
 """
 
+import argparse
 import threading
 
 from repro.core.metrics import format_table
+from repro.edge.transport import TRANSPORTS
 from repro.serving import (
     BatchingConfig,
     InferenceServer,
@@ -32,10 +38,12 @@ from repro.serving import (
 P99_CEILING_S = 0.5
 OPEN_REQUESTS = 300
 CLOSED_REQUESTS = 200
+TRANSPORT = "multiprocess"
 
 
 def make_server(max_batch_samples: int, max_wait_s: float):
-    system = build_demo_system(num_workers=2, time_scale=0.0)
+    system = build_demo_system(num_workers=2, time_scale=0.0,
+                               transport=TRANSPORT)
     server = InferenceServer(
         system.make_cluster(), system.fusion,
         ServerConfig(batching=BatchingConfig(
@@ -44,6 +52,12 @@ def make_server(max_batch_samples: int, max_wait_s: float):
 
 
 def main() -> None:
+    global TRANSPORT
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--transport", choices=sorted(TRANSPORTS),
+                        default="multiprocess")
+    TRANSPORT = parser.parse_args().transport
+    print(f"transport: {TRANSPORT}")
     rows = []
 
     # 1. Sustained open-loop traffic: zero drops, sane p99.

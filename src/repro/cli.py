@@ -7,8 +7,9 @@ Usage::
     python -m repro.cli curve --model vit-base --budget-mb 180  # Fig. 4 b/c
     python -m repro.cli communication               # Section V-D
     python -m repro.cli schedule --model vit-base --devices 5 --budget-mb 180
-    python -m repro.cli plan --workers 3 --out plan.json
+    python -m repro.cli plan --workers 3 --codec auto --out plan.json
     python -m repro.cli serve --workers 2 --requests 200 --rps 200
+    python -m repro.cli serve --transport inprocess --codec q8
     python -m repro.cli serve --plan plan.json --kill-after 0.3
     python -m repro.cli loadgen --rates 50,100,200 --compare-batching
 
@@ -81,7 +82,8 @@ def cmd_plan(args) -> None:
                               seed=args.seed,
                               throughputs=throughputs,
                               train_fusion=args.train_fusion,
-                              fusion_epochs=args.fusion_epochs)
+                              fusion_epochs=args.fusion_epochs,
+                              codec=args.codec)
     plan = system.plan
     if args.out:
         path = plan.save(args.out)
@@ -94,7 +96,8 @@ def cmd_plan(args) -> None:
         } for m in plan.submodels]
         print(format_table(rows))
         prediction = plan.prediction
-        print(f"predicted latency {prediction.latency_s * 1e3:.3f} ms, "
+        print(f"codec {plan.codec}: predicted latency "
+              f"{prediction.latency_s * 1e3:.3f} ms, "
               f"energy {prediction.energy_j:.3g} J"
               + (f", accuracy {prediction.accuracy:.3f}"
                  if prediction.accuracy is not None else ""))
@@ -138,13 +141,17 @@ def _make_server(args):
     if plan_path:
         from .planning import DeploymentPlan, PlannedSystem
 
+        # The plan file carries the codec; only the transport is a
+        # runtime choice.
         system = PlannedSystem.from_plan(DeploymentPlan.load(plan_path),
-                                         time_scale=args.time_scale)
+                                         time_scale=args.time_scale,
+                                         transport=args.transport)
         return system, system.make_server(
             config, replan=not getattr(args, "no_replan", False))
     system = build_demo_system(num_workers=args.workers,
                                model_kind=args.model_kind,
-                               seed=args.seed, time_scale=args.time_scale)
+                               seed=args.seed, time_scale=args.time_scale,
+                               transport=args.transport, codec=args.codec)
     return system, InferenceServer(system.make_cluster(), system.fusion,
                                    config)
 
@@ -211,9 +218,19 @@ def cmd_loadgen(args) -> None:
 
 
 def _add_serving_options(parser: argparse.ArgumentParser) -> None:
+    from .edge.transport import TRANSPORTS
+
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--model-kind", choices=("vit", "vgg", "snn"),
                         default="vit")
+    parser.add_argument("--transport", choices=sorted(TRANSPORTS),
+                        default="multiprocess",
+                        help="worker substrate: OS processes, threads, or "
+                             "TCP-connected processes")
+    parser.add_argument("--codec", default="raw32",
+                        help="feature wire codec (raw32, f16, q8; any base "
+                             "+zlib). Ignored with --plan (the plan carries "
+                             "its codec)")
     parser.add_argument("--batch", type=int, default=16,
                         help="dynamic batcher max samples per dispatch")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -259,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="train the demo system so the plan carries a "
                              "real accuracy prediction")
     p_plan.add_argument("--fusion-epochs", type=int, default=8)
+    p_plan.add_argument("--codec", default="raw32",
+                        help="feature wire codec recorded in the plan "
+                             "(raw32, f16, q8, any base +zlib), or 'auto' "
+                             "to DES-score candidates and keep the fastest "
+                             "within the accuracy-drop bound")
     p_plan.add_argument("--out", default=None,
                         help="write the plan JSON here (default: stdout)")
     p_plan.set_defaults(func=cmd_plan)

@@ -1,11 +1,18 @@
-"""Process-based edge-device emulation.
+"""Emulated edge-device runtime over pluggable transports.
 
 Where :mod:`repro.edge.simulator` predicts timing analytically, this module
-actually *runs* the deployment: every emulated device is an OS process
-hosting its sub-model; inputs and features cross real process boundaries
-(serialized numpy arrays over pipes); link bandwidth is emulated by
-sleeping for the tc-equivalent transfer time.  This is the "emulate devices
-as processes" substitution for the paper's physical Raspberry Pi testbed.
+actually *runs* the deployment: every emulated device is a worker (an OS
+process, a thread, or a TCP-connected process, depending on the
+:mod:`~repro.edge.transport` chosen) hosting its sub-model; inputs and
+features cross the worker boundary; link bandwidth is emulated by sleeping
+for the tc-equivalent transfer time of the bytes that would actually move.
+This is the "emulate devices as processes" substitution for the paper's
+physical Raspberry Pi testbed.
+
+Features ship through a :mod:`~repro.edge.codec` (``WorkerSpec.codec``):
+the worker encodes its ``(N, D)`` float32 features, the emulated link is
+charged for the **encoded** byte count, and the parent decodes — so a
+smaller codec is directly a faster fleet on the paper's 2 Mbps links.
 
 A ``time_scale`` knob shrinks emulated sleeps so tests stay fast while the
 measured proportions remain meaningful.
@@ -13,7 +20,7 @@ measured proportions remain meaningful.
 The wire protocol is request-id tagged so several in-flight requests can be
 distinguished (the serving layer pipelines them) and the gather side never
 blocks on a dead worker: every receive goes through poll-with-timeout plus
-a process-liveness check, and failures surface as the typed
+a worker-liveness check, and failures surface as the typed
 :class:`WorkerFailure` instead of a hang.
 
 Messages parent -> worker::
@@ -24,16 +31,18 @@ Messages parent -> worker::
 Messages worker -> parent::
 
     ("ready", worker_id)                        # once, after model build
-    ("features", request_id, features, stats)   # per-request success
+    ("features", request_id, encoded, stats)    # per-request success
     ("error", request_id | None, message)       # per-request failure
     ("stopped", worker_id)                      # reply to "stop"
+
+``encoded`` is an :class:`~repro.edge.codec.EncodedFeatures`;
+:meth:`EdgeCluster.poll` decodes it back to a float32 array before
+handing the reply to callers, so consumers never see codec internals.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing as mp
-import multiprocessing.connection as mp_connection
 import threading
 import time
 from typing import Any, Callable
@@ -44,9 +53,10 @@ from .. import nn
 from ..models.snn import ConvSNN, SNNConfig
 from ..models.vgg import VGG, VGGConfig
 from ..models.vit import ViTConfig, VisionTransformer
+from .codec import EncodedFeatures, get_codec
 from .device import DeviceModel
 from .network import LinkModel, tc_capped_link
-from .simulator import feature_bytes
+from .transport import Transport, WorkerHandle, get_transport
 
 
 class WorkerFailure(RuntimeError):
@@ -119,16 +129,19 @@ class WorkerSpec:
     link: LinkModel
     batch_size: int = 64               # forward chunk size inside the worker
     feature_dim: int | None = None     # width of forward_features output
+    codec: str = "raw32"               # repro.edge.codec name for features
 
     @staticmethod
     def from_model(worker_id: str, model: nn.Module, kind: str,
                    flops_per_sample: float, device: DeviceModel,
                    link: LinkModel | None = None,
-                   batch_size: int = 64) -> "WorkerSpec":
+                   batch_size: int = 64,
+                   codec: str = "raw32") -> "WorkerSpec":
         """Generic constructor for any registered model kind."""
         if kind not in MODEL_KINDS:
             raise KeyError(f"unknown model kind {kind!r}; registered kinds: "
                            f"{sorted(MODEL_KINDS)}")
+        get_codec(codec)               # fail fast on unknown codec names
         return WorkerSpec(
             worker_id=worker_id,
             model_kind=kind,
@@ -139,16 +152,18 @@ class WorkerSpec:
             link=link or tc_capped_link(),
             batch_size=batch_size,
             feature_dim=int(model.feature_dim()),
+            codec=codec,
         )
 
     @staticmethod
     def from_vit(worker_id: str, model: VisionTransformer,
                  flops_per_sample: float, device: DeviceModel,
                  link: LinkModel | None = None,
-                 batch_size: int = 64) -> "WorkerSpec":
+                 batch_size: int = 64,
+                 codec: str = "raw32") -> "WorkerSpec":
         return WorkerSpec.from_model(worker_id, model, "vit",
                                      flops_per_sample, device, link,
-                                     batch_size)
+                                     batch_size, codec)
 
     @staticmethod
     def from_plan(plan, model_id: str, model: nn.Module,
@@ -175,16 +190,31 @@ class WorkerSpec:
             link=device.link_model(),
             batch_size=batch_size,
             feature_dim=int(sub.feature_dim),
+            codec=getattr(plan, "codec", "raw32"),
         )
 
 
 def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
-    """Entry point of an emulated device process."""
+    """Entry point of an emulated device worker (any transport)."""
     from ..core.inference import extract_features
 
-    model = _build_model(spec.model_kind, spec.model_config)
-    model.load_state_dict(nn.state_dict_from_bytes(spec.state_blob))
-    model.eval()
+    try:
+        # Process transports re-import this module fresh, so a model kind
+        # or codec registered only at runtime in the parent is unknown
+        # here (registrations must happen at import time, like the
+        # built-ins).  Report that as a typed startup failure instead of
+        # dying and leaving the parent a bare EOFError.
+        model = _build_model(spec.model_kind, spec.model_config)
+        model.load_state_dict(nn.state_dict_from_bytes(spec.state_blob))
+        model.eval()
+        codec = get_codec(spec.codec)
+    except Exception as exc:
+        try:
+            conn.send(("failed", spec.worker_id,
+                       f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+        return
     conn.send(("ready", spec.worker_id))
     while True:
         try:
@@ -206,22 +236,25 @@ def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
             # shape of an edge deployment.
             features = extract_features(model, x, spec.batch_size,
                                         keep_workspaces=True)
+            encoded = codec.encode(features)
             wall_compute = time.perf_counter() - wall_start
 
-            # Emulate the Pi-4B compute time and the tc-capped transfer.
+            # Emulate the Pi-4B compute time and the tc-capped transfer of
+            # the bytes that actually go on the wire (the encoded payload).
             emulated_compute = spec.device.compute_seconds(
                 spec.flops_per_sample * len(x))
-            payload = feature_bytes(features.shape[-1]) * len(x)
-            emulated_transfer = spec.link.transfer_seconds(payload)
+            emulated_transfer = spec.link.transfer_seconds(encoded.nbytes)
             sleep_for = max(0.0,
                             (emulated_compute + emulated_transfer) * time_scale
                             - wall_compute)
             if sleep_for > 0:
                 time.sleep(sleep_for)
-            conn.send(("features", request_id, features,
+            conn.send(("features", request_id, encoded,
                        {"emulated_compute_s": emulated_compute,
                         "emulated_transfer_s": emulated_transfer,
-                        "host_compute_s": wall_compute}))
+                        "host_compute_s": wall_compute,
+                        "bytes_out": float(encoded.nbytes),
+                        "bytes_in": float(np.asarray(x).nbytes)}))
         except Exception as exc:       # an infer error must not kill the loop
             conn.send(("error", request_id, f"{type(exc).__name__}: {exc}"))
 
@@ -252,9 +285,17 @@ class EdgeCluster:
       :meth:`mark_down`, which the serving layer
       (:mod:`repro.serving`) uses to drive all workers concurrently and
       keep answering in degraded mode when some of them die.
+
+    ``transport`` selects the worker substrate (see
+    :mod:`repro.edge.transport`): ``"multiprocess"`` (default, one OS
+    process per worker), ``"inprocess"`` (threads — cheap spawns for
+    tests and big simulated fleets), or ``"tcp"`` (processes dialing back
+    over loopback TCP, the multi-host-capable wire).  A
+    :class:`~repro.edge.transport.Transport` instance is also accepted.
     """
 
-    def __init__(self, workers: list[WorkerSpec], time_scale: float = 0.0):
+    def __init__(self, workers: list[WorkerSpec], time_scale: float = 0.0,
+                 transport: str | Transport = "multiprocess"):
         if not workers:
             raise ValueError("need at least one worker")
         ids = [w.worker_id for w in workers]
@@ -262,9 +303,8 @@ class EdgeCluster:
             raise ValueError("worker ids must be unique")
         self._specs = workers
         self._time_scale = time_scale
-        self._context = mp.get_context("spawn")
-        self._processes: dict[str, mp.process.BaseProcess] = {}
-        self._conns: dict[str, Any] = {}
+        self._transport = get_transport(transport)
+        self._handles: dict[str, WorkerHandle] = {}
         self._down: dict[str, str] = {}      # worker_id -> failure reason
         self._started = False
         self._request_counter = 0
@@ -273,11 +313,14 @@ class EdgeCluster:
     @classmethod
     def from_plan(cls, plan, models: list[nn.Module],
                   time_scale: float = 0.0,
-                  batch_size: int = 64) -> "EdgeCluster":
+                  batch_size: int = 64,
+                  transport: str | Transport = "multiprocess",
+                  ) -> "EdgeCluster":
         """Boot a cluster straight from a deployment plan.
 
         ``models`` carries the concrete (trained) modules aligned with
-        ``plan.submodels``; worker ids are the plan's model ids.
+        ``plan.submodels``; worker ids are the plan's model ids.  The
+        plan's ``codec`` rides into every worker spec.
         """
         if len(models) != len(plan.submodels):
             raise ValueError(
@@ -286,7 +329,7 @@ class EdgeCluster:
         specs = [WorkerSpec.from_plan(plan, sub.model_id, model,
                                       batch_size=batch_size)
                  for sub, model in zip(plan.submodels, models)]
-        return cls(specs, time_scale=time_scale)
+        return cls(specs, time_scale=time_scale, transport=transport)
 
     # ------------------------------------------------------------------
     @property
@@ -305,6 +348,10 @@ class EdgeCluster:
     def down_workers(self) -> dict[str, str]:
         """Workers marked down, mapped to the failure reason."""
         return dict(self._down)
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
 
     def feature_dims(self) -> dict[str, int]:
         """Per-worker feature width (used for zero-filled degraded fusion)."""
@@ -328,17 +375,14 @@ class EdgeCluster:
         if self._started:
             raise RuntimeError("cluster already started")
         for spec in self._specs:
-            parent, child = self._context.Pipe()
-            process = self._context.Process(
-                target=_worker_main, args=(spec, child, self._time_scale),
-                daemon=True)
-            process.start()
-            self._processes[spec.worker_id] = process
-            self._conns[spec.worker_id] = parent
+            self._handles[spec.worker_id] = self._transport.spawn(
+                spec, self._time_scale, _worker_main)
         for spec in self._specs:
-            status, worker_id = self._conns[spec.worker_id].recv()
-            if status != "ready":
-                raise RuntimeError(f"worker {worker_id} failed to start")
+            message = self._handles[spec.worker_id].recv()
+            if message[0] != "ready":
+                detail = message[2] if len(message) > 2 else message
+                raise RuntimeError(
+                    f"worker {spec.worker_id} failed to start: {detail}")
         self._started = True
 
     def add_worker(self, spec: WorkerSpec, ready_timeout: float = 30.0) -> None:
@@ -348,29 +392,25 @@ class EdgeCluster:
         planning layer reassigns the orphaned sub-models and adds fresh
         workers for them on surviving devices, while the cluster keeps
         serving.  Raises ``RuntimeError`` (and marks the worker down) if
-        the new process fails to report ready within ``ready_timeout``.
+        the new worker fails to report ready within ``ready_timeout``.
         """
         if any(s.worker_id == spec.worker_id for s in self._specs):
             raise ValueError(f"duplicate worker id {spec.worker_id!r}")
         self._specs.append(spec)
         if not self._started:
             return                     # start() will spawn it with the rest
-        parent, child = self._context.Pipe()
-        process = self._context.Process(
-            target=_worker_main, args=(spec, child, self._time_scale),
-            daemon=True)
-        process.start()
-        self._processes[spec.worker_id] = process
-        self._conns[spec.worker_id] = parent
+        handle = self._transport.spawn(spec, self._time_scale, _worker_main)
+        self._handles[spec.worker_id] = handle
         try:
-            if not parent.poll(ready_timeout):
+            if not handle.poll(ready_timeout):
                 raise RuntimeError(
                     f"worker {spec.worker_id} not ready within "
                     f"{ready_timeout}s")
-            status, _ = parent.recv()
-            if status != "ready":
+            message = handle.recv()
+            if message[0] != "ready":
+                detail = message[2] if len(message) > 2 else message
                 raise RuntimeError(
-                    f"worker {spec.worker_id} failed to start: {status!r}")
+                    f"worker {spec.worker_id} failed to start: {detail}")
         except (EOFError, OSError) as exc:
             self.mark_down(spec.worker_id, f"failed to start: {exc}")
             raise RuntimeError(
@@ -383,31 +423,27 @@ class EdgeCluster:
         """Stop all workers.  Idempotent, and tolerant of dead workers."""
         if not self._started:
             return
-        for conn in self._conns.values():
+        for handle in self._handles.values():
             try:
-                conn.send(("stop",))
+                handle.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass                       # worker already gone
-        for conn in self._conns.values():
+        for handle in self._handles.values():
             deadline = time.perf_counter() + 5.0
             while True:                    # drain stale replies until stopped
                 remaining = deadline - time.perf_counter()
-                if remaining <= 0 or not conn.poll(remaining):
+                if remaining <= 0 or not handle.poll(remaining):
                     break
                 try:
-                    if conn.recv()[0] == "stopped":
+                    if handle.recv()[0] == "stopped":
                         break
                 except (EOFError, OSError):
                     break
-        for process in self._processes.values():
-            process.join(timeout=10)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5)
-        for conn in self._conns.values():
-            conn.close()
-        self._processes.clear()
-        self._conns.clear()
+        for handle in self._handles.values():
+            handle.join(timeout=10)
+            handle.close()
+        self._handles.clear()
+        self._transport.close()
         self._down.clear()
         self._started = False
 
@@ -421,99 +457,118 @@ class EdgeCluster:
     # ------------------------------------------------------------------
     # Non-blocking primitives (the serving layer's dispatch surface).
     def is_alive(self, worker_id: str) -> bool:
-        """Worker is up: not marked down and its process still runs."""
+        """Worker is up: not marked down and its worker still runs."""
         if not self._started or worker_id in self._down:
             return False
-        process = self._processes.get(worker_id)
-        return process is not None and process.is_alive()
+        handle = self._handles.get(worker_id)
+        return handle is not None and handle.alive()
 
     def live_workers(self) -> list[str]:
         return [wid for wid in self.worker_ids if self.is_alive(wid)]
 
     def mark_down(self, worker_id: str, reason: str = "marked down") -> None:
-        """Retire a worker: close its pipe and terminate its process."""
+        """Retire a worker: close its channel and kill its worker."""
         if worker_id in self._down:
             return
         self._down[worker_id] = reason
-        conn = self._conns.pop(worker_id, None)
-        if conn is not None:
-            conn.close()
-        process = self._processes.get(worker_id)
-        if process is not None and process.is_alive():
-            process.terminate()
+        handle = self._handles.pop(worker_id, None)
+        if handle is not None:
+            handle.close()
+            if handle.alive():
+                handle.kill()
 
     def has_buffered_reply(self, worker_id: str) -> bool:
-        """A reply is sitting in the pipe even if the process already died."""
-        conn = self._conns.get(worker_id)
+        """A reply is sitting in the channel even if the worker already died."""
+        handle = self._handles.get(worker_id)
         try:
-            return conn is not None and conn.poll(0)
+            return handle is not None and handle.poll(0)
         except (OSError, ValueError):
             return False
 
     def kill_worker(self, worker_id: str) -> None:
-        """Hard-kill a worker process (crash injection for tests/demos).
+        """Hard-kill a worker (crash injection for tests/demos).
 
         Deliberately does *not* mark the worker down: the point is to
         exercise the failure-detection path, which must notice the death
-        via pipe EOF / process liveness and degrade on its own.  A no-op
-        for unknown ids or after shutdown (e.g. a late kill timer).
+        via channel EOF / worker liveness and degrade on its own.  A
+        no-op for unknown ids or after shutdown (e.g. a late kill timer).
         """
-        process = self._processes.get(worker_id)
-        if process is None:
+        handle = self._handles.get(worker_id)
+        if handle is None:
             return
-        process.terminate()
-        process.join(timeout=5)
+        handle.kill()
 
     def submit(self, worker_id: str, request_id: int, x: np.ndarray) -> bool:
         """Dispatch one request without blocking on the reply.
 
+        Inputs are canonicalized to contiguous float32 here — the dtype
+        the workers compute in — so a float64 (or integer) caller cannot
+        silently double the bytes crossing the worker boundary and the
+        emulated transfer charged on them.
+
         Returns ``False`` (after marking the worker down) when the worker
-        cannot accept work — dead process or closed pipe.
+        cannot accept work — dead worker or closed channel.
         """
         if not self._started:
             raise RuntimeError("cluster not started; use start() or a with-block")
-        conn = self._conns.get(worker_id)
-        if conn is None:
+        handle = self._handles.get(worker_id)
+        if handle is None:
             return False
-        process = self._processes[worker_id]
-        if not process.is_alive():
+        if not handle.alive():
             self.mark_down(worker_id, "process died")
             return False
+        x = np.ascontiguousarray(x, dtype=np.float32)
         try:
-            conn.send(("infer", request_id, x))
+            handle.send(("infer", request_id, x))
             return True
         except (BrokenPipeError, OSError):
             self.mark_down(worker_id, "pipe closed")
             return False
 
+    def _decode_reply(self, worker_id: str, message: tuple) -> tuple:
+        """Decode a ``features`` reply's payload back to a float32 array."""
+        if message[0] != "features" or not isinstance(message[2],
+                                                      EncodedFeatures):
+            return message
+        try:
+            features = get_codec(message[2].codec).decode(message[2])
+        except Exception as exc:       # corrupt payload: surface, don't die
+            return ("error", message[1],
+                    f"feature decode failed: {type(exc).__name__}: {exc}")
+        return (message[0], message[1], features, message[3])
+
     def poll(self, timeout: float = 0.0) -> list[tuple[str, tuple]]:
         """Collect every reply that arrives within ``timeout`` seconds.
 
-        Waits on all live pipes at once (``multiprocessing.connection.wait``)
-        so one slow worker never serializes the gather.  A pipe that hits
-        EOF (worker crashed) marks that worker down instead of raising.
+        Waits on all live channels at once (``Transport.wait``) so one
+        slow worker never serializes the gather.  A channel that hits EOF
+        (worker crashed) marks that worker down instead of raising.
+        Encoded feature payloads are decoded here, so callers always see
+        plain float32 arrays.
         """
-        by_conn = {conn: wid for wid, conn in self._conns.items()}
-        if not by_conn:
+        if not self._handles:
             if timeout > 0:
                 time.sleep(timeout)
             return []
         replies: list[tuple[str, tuple]] = []
-        for conn in mp_connection.wait(list(by_conn), timeout):
-            worker_id = by_conn[conn]
+        for handle in self._transport.wait(list(self._handles.values()),
+                                           timeout):
+            worker_id = handle.worker_id
             while True:                # drain everything already buffered
                 try:
-                    has_more = conn.poll(0)
+                    has_more = handle.poll(0)
                 except (OSError, ValueError):
                     self.mark_down(worker_id, "connection closed")
                     break
                 if not has_more:
                     break
                 try:
-                    replies.append((worker_id, conn.recv()))
+                    message = handle.recv()
                 except (EOFError, OSError):
                     self.mark_down(worker_id, "process died (pipe EOF)")
                     break
+                replies.append((worker_id, self._decode_reply(worker_id,
+                                                              message)))
         return replies
 
     # ------------------------------------------------------------------
@@ -564,9 +619,9 @@ class EdgeCluster:
             for worker_id in sorted(pending):
                 if worker_id in self._down:
                     raise WorkerFailure(worker_id, self._down[worker_id])
-                if not self._processes[worker_id].is_alive() \
+                if not self.is_alive(worker_id) \
                         and not self.has_buffered_reply(worker_id):
-                    # Dead process with nothing buffered: it can never reply.
+                    # Dead worker with nothing buffered: it can never reply.
                     self.mark_down(worker_id, "process died mid-request")
                     raise WorkerFailure(worker_id, "process died mid-request")
             if pending and deadline is not None \

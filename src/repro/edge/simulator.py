@@ -13,8 +13,9 @@ from __future__ import annotations
 import dataclasses
 import statistics
 
+from .codec import get_codec
 from .device import DeviceModel
-from .network import StarTopology, feature_bytes, uniform_star
+from .network import StarTopology, uniform_star
 from .sim_core import Barrier, FifoResource, Simulator
 
 
@@ -25,10 +26,12 @@ class SubModelProfile:
     model_id: str
     flops_per_sample: float
     feature_dim: int
+    codec: str = "raw32"               # wire codec the features ship with
 
     @property
     def feature_bytes(self) -> int:
-        return feature_bytes(self.feature_dim)
+        """Estimated wire bytes per sample under the profile's codec."""
+        return get_codec(self.codec).estimate_bytes(self.feature_dim)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -19,10 +19,17 @@ from .plan import (
     PlannedDevice,
     PlannedSubModel,
 )
-from .planner import Planner, PlannerConfig, PlanningError, score_plan
+from .planner import (
+    DEFAULT_CANDIDATE_CODECS,
+    Planner,
+    PlannerConfig,
+    PlanningError,
+    score_plan,
+)
 from .replan import ReplanInfeasible, replan_on_failure, residual_capacity
 
 __all__ = [
+    "DEFAULT_CANDIDATE_CODECS",
     "DeploymentPlan",
     "PlanPrediction",
     "PlannedDevice",

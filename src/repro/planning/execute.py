@@ -56,6 +56,7 @@ class PlannedSystem:
     models: list[nn.Module]            # aligned with plan.submodels
     fusion: FusionMLP
     time_scale: float = 0.0
+    transport: str = "multiprocess"    # repro.edge.transport substrate
 
     def __post_init__(self):
         # worker_id -> model_id; starts as identity (plan-booted clusters
@@ -77,7 +78,8 @@ class PlannedSystem:
 
     def make_cluster(self) -> EdgeCluster:
         return EdgeCluster.from_plan(self.plan, self.models,
-                                     time_scale=self.time_scale)
+                                     time_scale=self.time_scale,
+                                     transport=self.transport)
 
     def make_server(self, config: ServerConfig | None = None,
                     replan: bool = True) -> InferenceServer:
@@ -90,9 +92,14 @@ class PlannedSystem:
     # -- local (in-process) reference predictions ----------------------
     def local_fused_labels(self, x: np.ndarray,
                            zero_models: tuple[int, ...] = ()) -> np.ndarray:
-        """Reference fused prediction; ``zero_models`` emulates dead slots."""
+        """Reference fused prediction; ``zero_models`` emulates dead slots.
+
+        The plan's wire codec is round-tripped over each feature array,
+        so the reference matches what the served fleet actually fuses.
+        """
         return fused_labels(self.models, self.fusion, x,
-                            zero_indices=zero_models)
+                            zero_indices=zero_models,
+                            codec=self.plan.codec)
 
     def local_accuracy(self, x: np.ndarray, y: np.ndarray,
                        zero_models: tuple[int, ...] = ()) -> float:
@@ -164,7 +171,8 @@ class PlannedSystem:
     # -- deterministic rebuild -----------------------------------------
     @staticmethod
     def from_plan(plan: DeploymentPlan,
-                  time_scale: float = 0.0) -> "PlannedSystem":
+                  time_scale: float = 0.0,
+                  transport: str = "multiprocess") -> "PlannedSystem":
         """Rebuild models, weights, and fusion from a plan's recipe.
 
         Every module is constructed from its stored config with the
@@ -187,7 +195,7 @@ class PlannedSystem:
                               seed=plan.seed,
                               fusion_epochs=int(build.get("fusion_epochs", 8)))
         return PlannedSystem(plan=plan, models=models, fusion=fusion,
-                             time_scale=time_scale)
+                             time_scale=time_scale, transport=transport)
 
 
 def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
@@ -195,7 +203,9 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
                      seed: int = 0, throughputs: list[float] | None = None,
                      train_fusion: bool = False, fusion_epochs: int = 8,
                      time_scale: float = 0.0,
-                     config: PlannerConfig | None = None) -> PlannedSystem:
+                     config: PlannerConfig | None = None,
+                     codec: str = "raw32",
+                     transport: str = "multiprocess") -> PlannedSystem:
     """Plan a small (optionally heterogeneous) serveable demo fleet.
 
     Builds one tiny sub-model per class group, profiles them, sizes a
@@ -205,6 +215,12 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
     :class:`DeploymentPlan`.  Device budgets leave enough residual memory
     and energy that one failed device's sub-model fits on a survivor —
     the replanning path is exercisable out of the box.
+
+    ``codec`` names the wire codec recorded in the plan; ``"auto"`` lets
+    :meth:`Planner.select_codec` search the candidate pool for the best
+    predicted latency within the accuracy-drop bound — measured against
+    the trained system when ``train_fusion`` is set, by nominal codec
+    drops otherwise.
     """
     if throughputs is None:
         throughputs = [1.0 / (1 + 0.5 * i) for i in range(num_workers)]
@@ -243,7 +259,20 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
     # top of its own (the replanning headroom).
     max_size = max(m.size_bytes for m in submodels)
     max_flops = max(m.flops_per_sample for m in submodels)
-    planner_config = config or PlannerConfig(seed=seed)
+    select = codec == "auto"
+    if config is None:
+        planner_config = PlannerConfig(seed=seed,
+                                       codec="raw32" if select else codec)
+    elif not select and codec != "raw32" and config.codec != codec:
+        # An explicit codec argument must not be silently dropped just
+        # because an explicit PlannerConfig was also supplied.
+        if config.codec != "raw32":
+            raise ValueError(
+                f"conflicting codecs: codec={codec!r} vs "
+                f"PlannerConfig.codec={config.codec!r}")
+        planner_config = dataclasses.replace(config, codec=codec)
+    else:
+        planner_config = config
     devices = [DeviceModel(device_id=f"edge-{index}",
                            macs_per_second=1e12 * factor,
                            memory_bytes=3 * max_size,
@@ -259,5 +288,13 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
         accuracy = float((labels == dataset.y_test).mean())
     plan = planner.plan_submodels(num_classes, partition, submodels,
                                   build=build, accuracy=accuracy)
+    if select:
+        measure = None
+        if train_fusion:
+            def measure(codec_name: str) -> float:
+                labels = fused_labels(models, fusion, dataset.x_test,
+                                      codec=codec_name)
+                return float((labels == dataset.y_test).mean())
+        plan = planner.select_codec(plan, measure_accuracy=measure)
     return PlannedSystem(plan=plan, models=models, fusion=fusion,
-                         time_scale=time_scale)
+                         time_scale=time_scale, transport=transport)

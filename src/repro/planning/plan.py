@@ -24,6 +24,7 @@ from ..assignment import (
     SubModelSpec,
     validate_plan,
 )
+from ..edge.codec import get_codec
 from ..edge.device import DeviceModel
 from ..edge.network import DEFAULT_OVERHEAD_S, LinkModel, StarTopology, TC_CAP_BPS
 from ..edge.simulator import DeploymentSpec, SubModelProfile
@@ -52,11 +53,17 @@ class PlannedSubModel:
                             flops_per_sample=self.flops_per_sample,
                             classes=self.classes)
 
-    def profile(self) -> SubModelProfile:
-        """The DES-simulator view of this sub-model."""
+    def profile(self, codec: str = "raw32") -> SubModelProfile:
+        """The DES-simulator view of this sub-model.
+
+        ``codec`` sets the wire codec the profile's per-sample feature
+        bytes are estimated under, so DES scoring sees the same payload
+        reduction the live fleet would.
+        """
         return SubModelProfile(model_id=self.model_id,
                                flops_per_sample=self.flops_per_sample,
-                               feature_dim=self.feature_dim)
+                               feature_dim=self.feature_dim,
+                               codec=codec)
 
     def to_dict(self) -> dict:
         data = dataclasses.asdict(self)
@@ -157,6 +164,7 @@ class DeploymentPlan:
     fusion_config: dict                # repro.models.fusion.FusionConfig dict
     num_samples: int = 1               # workload sizing used for assignment
     seed: int = 0
+    codec: str = "raw32"               # wire codec for shipped features
     prediction: PlanPrediction | None = None
     build: dict = dataclasses.field(default_factory=dict)
     history: list[dict] = dataclasses.field(default_factory=list)
@@ -213,7 +221,8 @@ class DeploymentPlan:
         return DeploymentSpec(
             devices=[d.device_model() for d in self.devices],
             placement=dict(self.mapping),
-            profiles={m.model_id: m.profile() for m in self.submodels},
+            profiles={m.model_id: m.profile(codec=self.codec)
+                      for m in self.submodels},
             fusion_device=self.fusion_device.device_model(),
             fusion_flops=self.fusion_flops,
             topology=StarTopology(device_links=links))
@@ -224,6 +233,7 @@ class DeploymentPlan:
     def validate(self) -> None:
         """Raise if the plan is internally inconsistent or over capacity."""
         validate_partition(self.partition, self.num_classes)
+        get_codec(self.codec)          # KeyError on an unknown codec name
         if sorted(self.mapping) != sorted(self.model_ids):
             raise InfeasibleAssignment(
                 "mapping must place every sub-model exactly once")
@@ -253,6 +263,7 @@ class DeploymentPlan:
             "fusion_config": dict(self.fusion_config),
             "num_samples": self.num_samples,
             "seed": self.seed,
+            "codec": self.codec,
             "prediction": None if self.prediction is None
             else self.prediction.to_dict(),
             "build": dict(self.build),
@@ -276,6 +287,7 @@ class DeploymentPlan:
             fusion_config=dict(data["fusion_config"]),
             num_samples=int(data.get("num_samples", 1)),
             seed=int(data.get("seed", 0)),
+            codec=str(data.get("codec", "raw32")),
             prediction=None if prediction is None
             else PlanPrediction.from_dict(prediction),
             build=dict(data.get("build", {})),

@@ -13,6 +13,11 @@ Candidate search: when the number of sub-models is not pinned, the planner
 builds one candidate plan per feasible group count, scores each with the
 DES simulator, and returns the plan with the lowest predicted mean
 latency — the paper's latency-vs-N trade-off, automated.
+
+Codec search: :meth:`Planner.select_codec` plays the same game over wire
+codecs — each candidate's *encoded* per-sample payload bytes flow into
+the DES link model, and the lowest-predicted-latency codec wins among
+those whose fused-accuracy cost stays within the configured bound.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import dataclasses
 import numpy as np
 
 from ..assignment import InfeasibleAssignment, greedy_assign
+from ..edge.codec import get_codec
 from ..edge.device import DeviceModel
 from ..edge.network import LinkModel, tc_capped_link
 from ..edge.simulator import energy_report, simulate_inference
@@ -42,6 +48,10 @@ class PlanningError(RuntimeError):
     """No candidate plan satisfied the constraints."""
 
 
+# Codecs the planner tries when asked to pick one (see select_codec).
+DEFAULT_CANDIDATE_CODECS = ("raw32", "f16", "q8", "q8+zlib")
+
+
 @dataclasses.dataclass(frozen=True)
 class PlannerConfig:
     """Knobs for plan construction and scoring."""
@@ -52,6 +62,9 @@ class PlannerConfig:
     candidate_groups: tuple[int, ...] | None = None  # group counts to try
     memory_budget_bytes: int | None = None  # None = fleet-wide sum
     seed: int = 0
+    codec: str = "raw32"               # wire codec recorded in the plan
+    candidate_codecs: tuple[str, ...] | None = None  # select_codec pool
+    accuracy_drop_bound: float = 0.01  # max fused-accuracy cost of a codec
 
 
 def score_plan(plan: DeploymentPlan, des_samples: int = 4,
@@ -193,6 +206,7 @@ class Planner:
             fusion_config=fusion_config.to_dict(),
             num_samples=config.num_samples,
             seed=config.seed,
+            codec=config.codec,
             build=build,
         )
         plan.validate()
@@ -200,3 +214,62 @@ class Planner:
                                      config.arrival_interval_s,
                                      accuracy=accuracy)
         return plan
+
+    # ------------------------------------------------------------------
+    def select_codec(self, plan: DeploymentPlan,
+                     candidates: tuple[str, ...] | None = None,
+                     measure_accuracy=None) -> DeploymentPlan:
+        """Pick the wire codec with the best predicted latency.
+
+        Every candidate codec is scored through the DES simulator with
+        its *reduced* per-sample payload bytes; candidates whose fused
+        accuracy costs more than ``config.accuracy_drop_bound`` are
+        rejected.  The drop is measured by calling
+        ``measure_accuracy(codec_name) -> float`` (e.g. fused accuracy
+        with the codec's encode→decode round trip applied to the
+        features) against its ``raw32`` value; without a measurement
+        hook — untrained, analytic plans — each codec's
+        ``nominal_accuracy_drop`` stands in.
+
+        Returns a rescored copy of ``plan`` carrying the winning codec
+        (``plan.build["codec_selection"]`` records the search); raises
+        :class:`PlanningError` if no candidate passes the bound.
+        """
+        config = self.config
+        candidates = tuple(candidates or config.candidate_codecs
+                           or DEFAULT_CANDIDATE_CODECS)
+        bound = config.accuracy_drop_bound
+        baseline = (measure_accuracy("raw32")
+                    if measure_accuracy is not None else None)
+        best: DeploymentPlan | None = None
+        considered: list[dict] = []
+        for name in candidates:
+            codec = get_codec(name)    # KeyError on unknown candidates
+            if baseline is not None:
+                accuracy = float(measure_accuracy(name))
+                drop = baseline - accuracy
+            else:
+                accuracy = plan.prediction.accuracy if name == "raw32" \
+                    and plan.prediction is not None else None
+                drop = codec.nominal_accuracy_drop
+            candidate = DeploymentPlan.from_dict(plan.to_dict())
+            candidate.codec = name
+            candidate.prediction = score_plan(
+                candidate, config.des_samples, config.arrival_interval_s,
+                accuracy=accuracy)
+            considered.append({"codec": name,
+                               "latency_s": candidate.prediction.latency_s,
+                               "accuracy_drop": drop,
+                               "admitted": bool(drop <= bound + 1e-12)})
+            if drop > bound + 1e-12:
+                continue
+            if best is None or (candidate.prediction.latency_s
+                                < best.prediction.latency_s):
+                best = candidate
+        if best is None:
+            raise PlanningError(
+                f"no candidate codec within accuracy drop bound {bound}: "
+                f"{considered}")
+        best.build["codec_selection"] = {"candidates": considered,
+                                         "accuracy_drop_bound": bound}
+        return best

@@ -98,6 +98,7 @@ def replan_on_failure(plan: DeploymentPlan,
         fusion_config=dict(plan.fusion_config),
         num_samples=plan.num_samples,
         seed=plan.seed,
+        codec=plan.codec,
         build=dict(plan.build),
         history=[dict(e) for e in plan.history] + [event],
     )

@@ -19,6 +19,7 @@ from .. import nn
 from ..core.inference import extract_features
 from ..core.training import TrainConfig, train_classifier
 from ..data import cifar10_like
+from ..edge.codec import get_codec
 from ..edge.device import DeviceModel
 from ..edge.network import LinkModel
 from ..edge.runtime import EdgeCluster, WorkerSpec
@@ -53,18 +54,26 @@ def _tiny_model(kind: str, num_classes: int, image_size: int,
 
 
 def fused_labels(models: list[nn.Module], fusion: FusionMLP, x: np.ndarray,
-                 zero_indices: tuple[int, ...] = ()) -> np.ndarray:
+                 zero_indices: tuple[int, ...] = (),
+                 codec: str | None = None) -> np.ndarray:
     """Reference fused prediction computed in-process (no cluster).
 
     ``zero_indices`` zero-fills those sub-models' feature slots, matching
-    the server's degraded-fusion path exactly.  Shared by the demo and
-    planning layers so the degraded-fusion reference exists only once.
+    the server's degraded-fusion path exactly.  ``codec`` additionally
+    round-trips each feature array through that wire codec's
+    encode→decode, reproducing the quantization the served fleet would
+    fuse — the hook the planner's codec selection measures accuracy
+    with.  Shared by the demo and planning layers so the fusion
+    reference exists only once.
     """
+    wire = None if codec in (None, "raw32") else get_codec(codec)
     chunks = []
     for index, model in enumerate(models):
         feats = extract_features(model, x)
         if index in zero_indices:
             feats = np.zeros_like(feats)
+        elif wire is not None:
+            feats = wire.decode(wire.encode(feats))
         chunks.append(feats)
     logits = fusion.predict(np.concatenate(chunks, axis=-1))
     return logits.argmax(axis=-1)
@@ -80,15 +89,22 @@ class DemoSystem:
     input_shape: tuple[int, int, int]  # one sample, (C, H, W)
     num_classes: int
     time_scale: float = 0.0
+    transport: str = "multiprocess"    # repro.edge.transport substrate
+    codec: str = "raw32"               # wire codec the specs carry
 
     def make_cluster(self) -> EdgeCluster:
-        return EdgeCluster(self.specs, time_scale=self.time_scale)
+        return EdgeCluster(self.specs, time_scale=self.time_scale,
+                           transport=self.transport)
 
     def local_fused_labels(self, x: np.ndarray,
                            zero_workers: tuple[int, ...] = ()) -> np.ndarray:
-        """Reference prediction; ``zero_workers`` emulates dead workers."""
+        """Reference prediction; ``zero_workers`` emulates dead workers.
+
+        Applies the system's wire-codec round trip, so served labels are
+        comparable even under lossy codecs.
+        """
         return fused_labels(self.models, self.fusion, x,
-                            zero_indices=zero_workers)
+                            zero_indices=zero_workers, codec=self.codec)
 
 
 def train_demo_system(models: list[nn.Module], fusion: FusionMLP,
@@ -123,15 +139,25 @@ def build_demo_system(num_workers: int = 2, model_kind: str = "vit",
                       num_classes: int = 10, image_size: int = 8,
                       seed: int = 0, time_scale: float = 0.0,
                       train_fusion: bool = False,
-                      fusion_epochs: int = 8) -> DemoSystem:
-    """Build an ``num_workers``-device demo split of ``model_kind``."""
+                      fusion_epochs: int = 8,
+                      transport: str = "multiprocess",
+                      codec: str = "raw32",
+                      link: LinkModel | None = None) -> DemoSystem:
+    """Build an ``num_workers``-device demo split of ``model_kind``.
+
+    ``transport`` picks the worker substrate, ``codec`` the feature wire
+    codec, and ``link`` overrides the default (effectively free) uplink —
+    e.g. :func:`repro.edge.network.tc_capped_link` plus a nonzero
+    ``time_scale`` makes the fleet communication-bound like the paper's.
+    """
     models = [_tiny_model(model_kind, num_classes, image_size,
                           np.random.default_rng(seed + index))
               for index in range(num_workers)]
+    link = link or LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0)
     specs = [WorkerSpec.from_model(
         f"w{index}", model, model_kind, flops_per_sample=1e6,
         device=DeviceModel(device_id=f"w{index}", macs_per_second=1e12),
-        link=LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0))
+        link=link, codec=codec)
         for index, model in enumerate(models)]
     fusion = build_fusion_for([m.feature_dim() for m in models],
                               num_classes=num_classes,
@@ -143,4 +169,5 @@ def build_demo_system(num_workers: int = 2, model_kind: str = "vit",
             spec.state_blob = nn.state_dict_to_bytes(model.state_dict())
     return DemoSystem(specs=specs, models=models, fusion=fusion,
                       input_shape=(3, image_size, image_size),
-                      num_classes=num_classes, time_scale=time_scale)
+                      num_classes=num_classes, time_scale=time_scale,
+                      transport=transport, codec=codec)

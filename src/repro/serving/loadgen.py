@@ -83,6 +83,8 @@ class LoadgenResult:
             "p50_ms": round(self.p50_s * 1e3, 3),
             "p95_ms": round(self.p95_s * 1e3, 3),
             "p99_ms": round(self.p99_s * 1e3, 3),
+            "wire_in_kb": round(self.report.wire_bytes_in / 1024, 1),
+            "bw_mbps": round(self.report.effective_bw_mbps, 3),
         }
 
 

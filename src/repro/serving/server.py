@@ -162,7 +162,10 @@ class InferenceServer:
         """
         if self._thread is None:
             raise RuntimeError("server not started; use start() or a with-block")
-        x = np.asarray(x)
+        # Canonicalize to the wire dtype up front: a float64 client must
+        # not double the bytes (and emulated transfer time) of the batch
+        # its request is coalesced into.
+        x = np.ascontiguousarray(x, dtype=np.float32)
         if x.ndim == 3:                # single image -> batch of one
             x = x[None]
         if self._input_shape is not None and x.shape[1:] != self._input_shape:
@@ -264,6 +267,7 @@ class InferenceServer:
             # marks the worker down, so no liveness pre-check here.
             if self._cluster.submit(worker_id, request_id, x):
                 pending.add(worker_id)
+        bytes_out = x.nbytes * len(pending)
         if not pending:
             # Whole fleet down: answering from an all-zeros fusion input
             # would be a constant-label lie — fail loudly instead.
@@ -344,6 +348,10 @@ class InferenceServer:
                                 for s in stats.values()), default=0.0)
         emulated_transfer = max((s["emulated_transfer_s"]
                                  for s in stats.values()), default=0.0)
+        # Wire accounting: inputs out to every dispatched worker, encoded
+        # features back from every answering one — apportioned to the
+        # coalesced requests by their share of the batch's samples.
+        wire_in = int(sum(s.get("bytes_out", 0.0) for s in stats.values()))
         completed_at = time.perf_counter()
         labels = logits.argmax(axis=-1)
         for future, chunk in zip(batch.requests,
@@ -354,6 +362,9 @@ class InferenceServer:
             telemetry.fusion_s = fusion_s
             telemetry.emulated_compute_s = emulated_compute
             telemetry.emulated_transfer_s = emulated_transfer
+            share = telemetry.num_samples / max(batch.num_samples, 1)
+            telemetry.bytes_out = int(round(bytes_out * share))
+            telemetry.bytes_in = int(round(wire_in * share))
             telemetry.degraded = bool(missing)
             telemetry.workers_down = missing
             future.set_result(chunk.copy())

@@ -40,6 +40,8 @@ class RequestTelemetry:
     fusion_s: float = 0.0              # fusion forward
     emulated_compute_s: float = 0.0    # critical-path worker compute
     emulated_transfer_s: float = 0.0   # critical-path feature transfer
+    bytes_out: int = 0                 # input bytes scattered to workers
+    bytes_in: int = 0                  # encoded feature bytes gathered
     degraded: bool = False             # zero-filled features were used
     workers_down: tuple[str, ...] = ()
     error: str | None = None
@@ -72,6 +74,9 @@ class ServingReport:
     mean_batch_requests: float
     degraded_requests: int
     worker_health: dict[str, str]      # worker_id -> "up" | reason it is down
+    wire_bytes_out: int = 0            # total input bytes scattered
+    wire_bytes_in: int = 0             # total encoded feature bytes gathered
+    effective_bw_mbps: float = 0.0     # gathered wire Mbit per wall second
 
     @staticmethod
     def from_records(records: Iterable[RequestTelemetry],
@@ -88,6 +93,7 @@ class ServingReport:
         def mean(values: list[float]) -> float:
             return sum(values) / len(values) if values else math.nan
 
+        wire_in = sum(r.bytes_in for r in done)
         return ServingReport(
             completed=len(done),
             failed=failed,
@@ -104,6 +110,9 @@ class ServingReport:
             mean_batch_requests=mean([float(r.batch_requests) for r in done]),
             degraded_requests=sum(1 for r in done if r.degraded),
             worker_health=dict(worker_health or {}),
+            wire_bytes_out=sum(r.bytes_out for r in done),
+            wire_bytes_in=wire_in,
+            effective_bw_mbps=wire_in * 8 / 1e6 / wall,
         )
 
     def row(self) -> dict:
@@ -120,6 +129,9 @@ class ServingReport:
             "queue_ms": round(self.queue_mean_s * 1e3, 3),
             "fusion_ms": round(self.fusion_mean_s * 1e3, 3),
             "batch_reqs": round(self.mean_batch_requests, 2),
+            "wire_in_kb": round(self.wire_bytes_in / 1024, 1),
+            "wire_out_kb": round(self.wire_bytes_out / 1024, 1),
+            "bw_mbps": round(self.effective_bw_mbps, 3),
             "degraded": self.degraded_requests,
             "down": ",".join(down) or "-",
         }

@@ -76,7 +76,7 @@ class TestWorkerCrash:
 class TestBadReplies:
     def test_unknown_command_reply_is_typed_error(self):
         with EdgeCluster([make_worker("a")]) as cluster:
-            cluster._conns["a"].send(("bogus",))
+            cluster._handles["a"].send(("bogus",))
             replies = cluster.poll(5.0)
             assert replies and replies[0][1][0] == "error"
             assert "unknown command" in replies[0][1][2]

@@ -1,0 +1,148 @@
+"""Codec plumbing through plans and the planner's codec selection."""
+
+import numpy as np
+import pytest
+
+from repro.edge.codec import get_codec
+from repro.planning import (
+    DEFAULT_CANDIDATE_CODECS,
+    DeploymentPlan,
+    PlannedSystem,
+    Planner,
+    PlannerConfig,
+    PlanningError,
+    plan_demo_system,
+)
+
+
+@pytest.fixture(scope="module")
+def q8_system():
+    return plan_demo_system(num_workers=2, codec="q8")
+
+
+class TestPlanCarriesCodec:
+    def test_json_round_trip_preserves_codec(self, q8_system):
+        plan = q8_system.plan
+        rebuilt = DeploymentPlan.from_json(plan.to_json())
+        assert rebuilt.codec == "q8"
+        assert rebuilt.to_dict() == plan.to_dict()
+
+    def test_legacy_json_defaults_to_raw32(self, q8_system):
+        data = q8_system.plan.to_dict()
+        del data["codec"]              # a pre-codec plan file
+        assert DeploymentPlan.from_dict(data).codec == "raw32"
+
+    def test_validate_rejects_unknown_codec(self, q8_system):
+        plan = DeploymentPlan.from_dict(q8_system.plan.to_dict())
+        plan.codec = "nope"
+        with pytest.raises(KeyError, match="unknown feature codec"):
+            plan.validate()
+
+    def test_deployment_spec_uses_encoded_bytes(self, q8_system):
+        plan = q8_system.plan
+        for model_id, profile in plan.deployment_spec().profiles.items():
+            submodel = plan.submodel(model_id)
+            assert profile.feature_bytes == get_codec("q8").estimate_bytes(
+                submodel.feature_dim)
+            assert profile.feature_bytes < 4 * submodel.feature_dim
+
+    def test_worker_specs_inherit_the_plan_codec(self, q8_system):
+        cluster = q8_system.make_cluster()
+        assert all(spec.codec == "q8" for spec in cluster.specs)
+
+    def test_replanning_keeps_the_codec(self, q8_system):
+        from repro.planning import replan_on_failure
+
+        plan = q8_system.plan
+        new_plan = replan_on_failure(plan, {plan.mapping["submodel-0"]})
+        assert new_plan.codec == "q8"
+
+
+class TestSelectCodec:
+    def test_picks_a_smaller_codec_on_a_slow_link(self):
+        system = plan_demo_system(num_workers=2)
+        planner = Planner(
+            [d.device_model() for d in system.plan.devices],
+            system.plan.fusion_device.device_model(),
+            config=PlannerConfig())
+        best = planner.select_codec(system.plan)
+        assert best.codec != "raw32"   # every lossy candidate ships less
+        assert best.prediction.latency_s \
+            <= system.plan.prediction.latency_s
+        selection = best.build["codec_selection"]
+        assert [c["codec"] for c in selection["candidates"]] \
+            == list(DEFAULT_CANDIDATE_CODECS)
+
+    def test_measured_accuracy_gates_candidates(self):
+        system = plan_demo_system(num_workers=2)
+        planner = Planner(
+            [d.device_model() for d in system.plan.devices],
+            system.plan.fusion_device.device_model(),
+            config=PlannerConfig(accuracy_drop_bound=0.01))
+
+        def measure(codec_name):
+            return 0.9 if codec_name in ("raw32", "f16") else 0.5
+
+        best = planner.select_codec(system.plan, measure_accuracy=measure)
+        assert best.codec == "f16"     # q8 variants fail the measured bound
+        assert best.prediction.accuracy == 0.9
+
+    def test_no_admissible_candidate_raises(self):
+        system = plan_demo_system(num_workers=2)
+        planner = Planner(
+            [d.device_model() for d in system.plan.devices],
+            system.plan.fusion_device.device_model(),
+            # Unsatisfiable bound: even raw32's zero drop is too much.
+            config=PlannerConfig(accuracy_drop_bound=-1.0))
+        with pytest.raises(PlanningError, match="no candidate codec"):
+            planner.select_codec(system.plan)
+
+    def test_lossy_candidates_rejected_fall_back_to_raw32(self):
+        system = plan_demo_system(num_workers=2)
+        planner = Planner(
+            [d.device_model() for d in system.plan.devices],
+            system.plan.fusion_device.device_model(),
+            config=PlannerConfig(accuracy_drop_bound=0.01))
+        best = planner.select_codec(
+            system.plan,
+            measure_accuracy=lambda name: 1.0 if name == "raw32" else 0.0)
+        assert best.codec == "raw32"
+
+    def test_explicit_config_still_honours_codec_argument(self):
+        system = plan_demo_system(num_workers=2, codec="q8",
+                                  config=PlannerConfig(seed=1))
+        assert system.plan.codec == "q8"
+
+    def test_conflicting_codec_and_config_raise(self):
+        with pytest.raises(ValueError, match="conflicting codecs"):
+            plan_demo_system(num_workers=2, codec="q8",
+                             config=PlannerConfig(codec="f16"))
+
+    def test_config_codec_alone_is_respected(self):
+        system = plan_demo_system(num_workers=2,
+                                  config=PlannerConfig(codec="f16"))
+        assert system.plan.codec == "f16"
+
+    def test_auto_codec_in_plan_demo_system(self):
+        system = plan_demo_system(num_workers=2, codec="auto")
+        assert system.plan.codec in DEFAULT_CANDIDATE_CODECS
+        assert system.plan.codec != "raw32"
+        assert "codec_selection" in system.plan.build
+
+
+class TestCodecAccuracy:
+    def test_fused_accuracy_within_bound_of_raw32(self):
+        """Trained demo: q8/f16 fused accuracy within 0.01 of raw32."""
+        system = plan_demo_system(num_workers=2, train_fusion=True,
+                                  fusion_epochs=4)
+        dataset = system.eval_dataset()
+        accuracies = {}
+        for codec in ("raw32", "f16", "q8"):
+            plan = DeploymentPlan.from_dict(system.plan.to_dict())
+            plan.codec = codec
+            coded = PlannedSystem(plan=plan, models=system.models,
+                                  fusion=system.fusion)
+            accuracies[codec] = coded.local_accuracy(dataset.x_test,
+                                                     dataset.y_test)
+        assert accuracies["raw32"] - accuracies["f16"] <= 0.01
+        assert accuracies["raw32"] - accuracies["q8"] <= 0.01

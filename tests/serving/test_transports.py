@@ -1,0 +1,108 @@
+"""The serving layer end to end over every transport substrate.
+
+One parametrized suite — if a transport can't serve, degrade, and
+account wire bytes exactly like the others, it fails here.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BatchingConfig,
+    InferenceServer,
+    LoadgenConfig,
+    ServerConfig,
+    build_demo_system,
+    run_load,
+)
+
+X = np.random.default_rng(3).normal(size=(6, 3, 8, 8)).astype(np.float32)
+
+
+def make_server(transport, codec="raw32", num_workers=2):
+    system = build_demo_system(num_workers=num_workers, transport=transport,
+                               codec=codec)
+    server = InferenceServer(
+        system.make_cluster(), system.fusion,
+        ServerConfig(batching=BatchingConfig(max_batch_samples=16,
+                                             max_wait_s=0.002),
+                     worker_timeout_s=10.0))
+    return system, server
+
+
+@pytest.mark.parametrize("transport", ["inprocess", "multiprocess", "tcp"])
+class TestServingAcrossTransports:
+    def test_served_labels_match_local_reference(self, transport):
+        system, server = make_server(transport)
+        with server:
+            labels = server.infer(X)
+        assert (labels == system.local_fused_labels(X)).all()
+
+    def test_closed_loop_run_completes_cleanly(self, transport):
+        system, server = make_server(transport)
+        with server:
+            result = run_load(server, system.input_shape,
+                              LoadgenConfig(num_requests=40, mode="closed",
+                                            concurrency=4))
+        assert result.completed == 40
+        assert result.errors == 0 and result.dropped == 0
+        assert result.report.wire_bytes_in > 0
+        assert result.report.wire_bytes_out > 0
+
+    def test_kill_degrades_instead_of_failing(self, transport):
+        system, server = make_server(transport)
+        with server:
+            server.infer(X)            # warm: all workers answered once
+            victim = system.specs[0].worker_id
+            server.cluster.kill_worker(victim)
+            deadline = time.monotonic() + 5.0
+            while server.cluster.is_alive(victim) \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            degraded = None
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                future = server.submit(X)
+                future.result(timeout=15.0)
+                if future.telemetry.degraded:
+                    degraded = future.telemetry
+                    break
+            assert degraded is not None, "kill never surfaced as degraded"
+            assert victim in degraded.workers_down
+        health = server.worker_health()
+        assert sum(1 for status in health.values() if status != "up") == 1
+
+
+class TestWireTelemetry:
+    def test_request_bytes_match_codec_exactly(self):
+        # 2 workers x 6 samples x 8 features: raw32 = 4 B/value.
+        system, server = make_server("inprocess", codec="raw32")
+        with server:
+            future = server.submit(X)
+            future.result(timeout=15.0)
+        assert future.telemetry.bytes_in == 2 * 6 * 8 * 4
+        assert future.telemetry.bytes_out == 2 * X.nbytes
+
+    def test_q8_reports_fewer_wire_bytes_than_raw32(self):
+        wire = {}
+        for codec in ("raw32", "q8"):
+            system, server = make_server("inprocess", codec=codec)
+            with server:
+                run_load(server, system.input_shape,
+                         LoadgenConfig(num_requests=30, mode="closed",
+                                       concurrency=4))
+                report = server.stats()
+            wire[codec] = report.wire_bytes_in
+            assert report.effective_bw_mbps > 0
+        assert wire["q8"] < wire["raw32"]
+
+    def test_float64_request_does_not_inflate_bytes_out(self):
+        system, server = make_server("inprocess")
+        with server:
+            f32 = server.submit(X)
+            f32.result(timeout=15.0)
+            f64 = server.submit(X.astype(np.float64))
+            f64.result(timeout=15.0)
+        assert f64.telemetry.bytes_out == f32.telemetry.bytes_out
