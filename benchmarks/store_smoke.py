@@ -1,0 +1,159 @@
+"""CI smoke test for the artifact store (the `store-smoke` job).
+
+End-to-end model lifecycle: a cold boot of a trained plan populates the
+store; a warm boot of the same plan checkpoint-loads instead of
+retraining — asserted to perform *no training*, to reproduce the cold
+fused accuracy exactly, and to be strictly faster than the cold rebuild.
+A corrupted artifact is rejected on load (digest mismatch), and a rolling
+`swap_worker` deployment under Poisson load completes with zero dropped
+requests.  Finally the LRU gc bounds the store.
+
+Run:  PYTHONPATH=src python benchmarks/store_smoke.py
+"""
+
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.planning import DeploymentPlan, PlannedSystem, plan_demo_system
+from repro.serving import LoadgenConfig, run_load
+from repro.store import ArtifactCorrupt, ArtifactStore
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {name}" + (f" ({detail})" if detail else ""))
+    if not condition:
+        raise SystemExit(f"store smoke failed: {name} {detail}")
+
+
+def main() -> None:
+    tmp = Path(tempfile.mkdtemp(prefix="store-smoke-"))
+    store = ArtifactStore(tmp / "artifacts")
+
+    print("== cold boot populates the store ==")
+    t0 = time.perf_counter()
+    cold = plan_demo_system(num_workers=2, seed=0, train_fusion=True,
+                            fusion_epochs=8, store=store)
+    print(f"  planned+trained in {time.perf_counter() - t0:.2f}s")
+    check("cold boot is cold", not cold.warm_booted)
+    check("store holds one artifact per module",
+          len(store) == len(cold.plan.submodels) + 1, f"{len(store)}")
+    check("plan records artifact refs",
+          set(cold.plan.artifacts) >= set(cold.plan.model_ids),
+          str(cold.plan.artifacts))
+
+    plan_path = cold.plan.save(tmp / "plan.json")
+    plan = DeploymentPlan.load(plan_path)
+    dataset = cold.eval_dataset()
+    x = dataset.x_test.astype(np.float32)
+    y = np.asarray(dataset.y_test)
+    healthy = cold.local_accuracy(x, y)
+
+    print("== warm boot: no training, exact accuracy, strictly faster ==")
+    t0 = time.perf_counter()
+    rebuilt_cold = PlannedSystem.from_plan(
+        DeploymentPlan.load(plan_path),
+        store=ArtifactStore(tmp / "artifacts-cold"))
+    t_cold = time.perf_counter() - t0
+
+    # Any training attempt during the warm boot must explode.
+    import repro.planning.execute as execute_mod
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("warm boot invoked training")
+
+    original = execute_mod.train_demo_system
+    execute_mod.train_demo_system = forbidden
+    try:
+        t0 = time.perf_counter()
+        warm = PlannedSystem.from_plan(plan, store=store)
+        t_warm = time.perf_counter() - t0
+    finally:
+        execute_mod.train_demo_system = original
+    print(f"  cold rebuild {t_cold:.2f}s vs warm boot {t_warm:.3f}s "
+          f"({t_cold / max(t_warm, 1e-9):.0f}x)")
+    check("warm boot flagged", warm.warm_booted)
+    check("cold rebuild is cold", not rebuilt_cold.warm_booted)
+    check("warm boot strictly faster than cold rebuild", t_warm < t_cold,
+          f"warm={t_warm:.3f}s cold={t_cold:.3f}s")
+    check("warm accuracy matches cold exactly",
+          warm.local_accuracy(x, y) == healthy,
+          f"{warm.local_accuracy(x, y)} vs {healthy}")
+    check("cold rebuild matches too",
+          rebuilt_cold.local_accuracy(x, y) == healthy)
+
+    print("== corrupted artifact is rejected ==")
+    victim = store.object_path(plan.artifacts[plan.model_ids[0]])
+    raw = bytearray(victim.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    victim.write_bytes(bytes(raw))
+    try:
+        PlannedSystem.from_plan(DeploymentPlan.load(plan_path), store=store)
+        corrupted_rejected = False
+    except ArtifactCorrupt:
+        corrupted_rejected = True
+    check("digest mismatch raises ArtifactCorrupt", corrupted_rejected)
+    # Operator workflow: drop the corrupt artifact; the next (cold) boot
+    # repopulates it from the deterministic rebuild.
+    store.remove(plan.artifacts[plan.model_ids[0]])
+    healed = PlannedSystem.from_plan(DeploymentPlan.load(plan_path),
+                                     store=store)
+    check("corrupt artifact healed by cold rebuild",
+          not healed.warm_booted and store.verify(
+              plan.artifacts[plan.model_ids[0]]) is not None)
+
+    print("== rolling swap under load: zero drops ==")
+    system = PlannedSystem.from_plan(DeploymentPlan.load(plan_path),
+                                     store=store)
+    check("swap system warm boots", system.warm_booted)
+    victim_id = system.plan.model_ids[0]
+    swap_result: dict = {}
+    with system.make_server() as server:
+        def do_swap() -> None:
+            try:
+                swap_result["worker"] = system.swap_from_store(
+                    server, victim_id, store)
+            except Exception as exc:   # pragma: no cover - failure path
+                swap_result["error"] = f"{type(exc).__name__}: {exc}"
+
+        timer = threading.Timer(0.1, do_swap)
+        timer.start()
+        result = run_load(server, system.input_shape,
+                          LoadgenConfig(num_requests=300, mode="open",
+                                        offered_rps=400.0, seed=0))
+        timer.cancel()
+        timer.join(timeout=60)
+        recovered = float((server.infer(x, timeout=60.0) == y).mean())
+        report = server.stats()
+        hosting = server.hosting()
+    check("swap completed", swap_result.get("worker") ==
+          f"{victim_id}@swap1", str(swap_result))
+    check("slot re-hosted on the replacement",
+          hosting[victim_id] == f"{victim_id}@swap1", str(hosting))
+    check("zero failed requests", report.failed == 0, str(report.failed))
+    check("zero dropped requests",
+          result.dropped == 0 and result.errors == 0,
+          f"dropped={result.dropped} errors={result.errors}")
+    check("old worker retired",
+          server.worker_health().get(victim_id) == "retired by rolling swap")
+    check("post-swap accuracy is healthy", recovered == healthy,
+          f"{recovered} vs {healthy}")
+
+    print("== LRU gc bounds the store ==")
+    before = len(store)
+    evicted = store.gc(max_artifacts=2)
+    check("gc evicts down to the bound",
+          len(store) == 2 and len(evicted) == before - 2,
+          f"{before} -> {len(store)}")
+    print("store smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,7 @@ from . import (
     pruning,
     serving,
     splitting,
+    store,
 )
 from .core import EDViTConfig, EDViTSystem, build_edvit
 
@@ -65,5 +66,6 @@ __all__ = [
     "pruning",
     "serving",
     "splitting",
+    "store",
     "__version__",
 ]

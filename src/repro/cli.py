@@ -8,10 +8,14 @@ Usage::
     python -m repro.cli communication               # Section V-D
     python -m repro.cli schedule --model vit-base --devices 5 --budget-mb 180
     python -m repro.cli plan --workers 3 --codec auto --out plan.json
+    python -m repro.cli plan --train-fusion --store ./artifacts --out plan.json
     python -m repro.cli serve --workers 2 --requests 200 --rps 200
     python -m repro.cli serve --transport inprocess --codec q8
     python -m repro.cli serve --plan plan.json --kill-after 0.3
+    python -m repro.cli serve --plan plan.json --store ./artifacts --swap-after 0.3
     python -m repro.cli loadgen --rates 50,100,200 --compare-batching
+    python -m repro.cli artifacts ls --store ./artifacts
+    python -m repro.cli artifacts gc --store ./artifacts --max-mb 64
 
 ``plan`` runs the deployment planner (:mod:`repro.planning`) over a small
 heterogeneous demo fleet and emits the scored
@@ -20,9 +24,16 @@ fleet behind the asynchronous serving layer (:mod:`repro.serving`) —
 either a demo fleet or, with ``--plan``, a fleet booted from a plan file
 with online replanning enabled — drives Poisson traffic at it (optionally
 killing a worker mid-run to demonstrate degraded fusion and replan
-recovery), and prints the telemetry report.  ``loadgen`` sweeps offered
-load and prints the latency-vs-offered-load curve, plus an optional
-dynamic-batching-on/off throughput comparison.
+recovery, or rolling-swapping one with ``--swap-after``), and prints the
+telemetry report (``--json`` for machine-readable output).  ``loadgen``
+sweeps offered load and prints the latency-vs-offered-load curve, plus an
+optional dynamic-batching-on/off throughput comparison.
+
+``--store DIR`` on ``plan``/``serve`` points at a
+:class:`repro.store.ArtifactStore`: the first (cold) boot trains and
+populates it, every later boot warm-loads the checkpoints instead of
+retraining.  ``artifacts ls``/``artifacts gc`` inspect and bound the
+store.
 
 Trained experiments (accuracy panels, baselines) are intentionally not
 wrapped here — run the benches: ``pytest benchmarks/ --benchmark-only -s``.
@@ -71,6 +82,15 @@ def cmd_curve(args) -> None:
     print(format_table(rows))
 
 
+def _artifact_store(args):
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    from .store import ArtifactStore
+
+    return ArtifactStore(path)
+
+
 def cmd_plan(args) -> None:
     from .planning import plan_demo_system
 
@@ -83,8 +103,13 @@ def cmd_plan(args) -> None:
                               throughputs=throughputs,
                               train_fusion=args.train_fusion,
                               fusion_epochs=args.fusion_epochs,
-                              codec=args.codec)
+                              codec=args.codec,
+                              store=_artifact_store(args))
     plan = system.plan
+    if args.store:
+        boot = "warm-booted from" if system.warm_booted else "populated"
+        print(f"# artifact store {args.store}: {boot} "
+              f"{len(plan.artifacts)} artifacts", file=sys.stderr)
     if args.out:
         path = plan.save(args.out)
         rows = [{
@@ -137,47 +162,89 @@ def _make_server(args):
         batching=BatchingConfig(max_batch_samples=args.batch,
                                 max_wait_s=args.max_wait_ms / 1e3),
         worker_timeout_s=args.worker_timeout_s)
+    store = _artifact_store(args)
     plan_path = getattr(args, "plan", None)
     if plan_path:
         from .planning import DeploymentPlan, PlannedSystem
 
-        # The plan file carries the codec; only the transport is a
-        # runtime choice.
+        # The plan file carries the codec; only the transport (and the
+        # artifact store to warm-boot from) is a runtime choice.
         system = PlannedSystem.from_plan(DeploymentPlan.load(plan_path),
                                          time_scale=args.time_scale,
-                                         transport=args.transport)
+                                         transport=args.transport,
+                                         store=store)
         return system, system.make_server(
             config, replan=not getattr(args, "no_replan", False))
     system = build_demo_system(num_workers=args.workers,
                                model_kind=args.model_kind,
                                seed=args.seed, time_scale=args.time_scale,
-                               transport=args.transport, codec=args.codec)
+                               transport=args.transport, codec=args.codec,
+                               train_fusion=getattr(args, "train_fusion",
+                                                    False),
+                               store=store)
     return system, InferenceServer(system.make_cluster(), system.fusion,
                                    config)
 
 
 def cmd_serve(args) -> None:
+    import json
     import threading
 
     from .serving import LoadgenConfig, run_load
 
+    # Validate before _make_server: building (and possibly training) the
+    # whole fleet only to exit with a usage error would waste minutes.
+    if args.swap_after is not None and not (args.plan and args.store):
+        raise SystemExit("--swap-after needs --plan and --store "
+                         "(the replacement worker boots from the "
+                         "plan's store artifact)")
+    quiet = args.json
     system, server = _make_server(args)
     kill_timer = None
+    swap_timer = None
+    swap_result: dict = {}
     with server:
         if args.kill_after is not None:
             victim = server.slots[0]
             kill_timer = threading.Timer(args.kill_after,
                                          server.cluster.kill_worker, (victim,))
             kill_timer.start()
-            print(f"(will kill worker {victim} after {args.kill_after}s)")
+            if not quiet:
+                print(f"(will kill worker {victim} after {args.kill_after}s)")
+        if args.swap_after is not None:
+            slot = server.slots[0]
+
+            def do_swap() -> None:
+                try:
+                    swap_result["worker"] = system.swap_from_store(
+                        server, slot, _artifact_store(args))
+                except Exception as exc:
+                    swap_result["error"] = f"{type(exc).__name__}: {exc}"
+            swap_timer = threading.Timer(args.swap_after, do_swap)
+            swap_timer.start()
+            if not quiet:
+                print(f"(will rolling-swap slot {slot} after "
+                      f"{args.swap_after}s)")
         result = run_load(server, system.input_shape,
                           LoadgenConfig(num_requests=args.requests,
                                         mode="open", offered_rps=args.rps,
                                         seed=args.seed))
         report = server.stats()
         hosting = server.hosting()
-        if kill_timer is not None:
-            kill_timer.cancel()        # the run may finish before it fires
+        for timer in (kill_timer, swap_timer):
+            if timer is not None:
+                timer.cancel()         # the run may finish before it fires
+        if swap_timer is not None:
+            # cancel() does not stop an already-running swap; let it
+            # finish before the cluster shuts down underneath it.
+            swap_timer.join(timeout=60)
+    if args.json:
+        print(json.dumps({"loadgen": result.row(),
+                          "report": report.to_dict(),
+                          "hosting": hosting,
+                          "swap": swap_result or None},
+                         indent=2, allow_nan=False))
+        return
     print(format_table([result.row()]))
     print(format_table([report.row()]))
     for worker_id, health in report.worker_health.items():
@@ -185,7 +252,46 @@ def cmd_serve(args) -> None:
     rehosted = {slot: worker for slot, worker in hosting.items()
                 if slot != worker}
     for slot, worker in rehosted.items():
-        print(f"  slot {slot}: re-hosted on {worker} (replanned)")
+        print(f"  slot {slot}: re-hosted on {worker}")
+    if swap_result:
+        print(f"  rolling swap: {swap_result}")
+
+
+def cmd_artifacts(args) -> None:
+    import time as _time
+
+    from .store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+
+    def when(stamp: float) -> str:
+        return _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(stamp))
+
+    if args.action == "ls":
+        rows = [{"digest": info.digest[:12],
+                 "kind": info.kind,
+                 "model": info.meta.get("model_id", "-"),
+                 "size_kb": round(info.nbytes / 1024, 1),
+                 "created": when(info.created_at),
+                 "last_used": when(info.last_used_at)}
+                for info in store.ls()]
+        if rows:
+            print(format_table(rows))
+        print(f"{len(store)} artifacts, "
+              f"{store.total_bytes / 2 ** 20:.2f} MiB in {store.root}")
+    else:                              # gc
+        if args.max_mb is None and args.max_artifacts is None:
+            raise SystemExit("artifacts gc: pass --max-mb and/or "
+                             "--max-artifacts (without a bound there is "
+                             "nothing to evict)")
+        max_bytes = None if args.max_mb is None \
+            else int(args.max_mb * 2 ** 20)
+        evicted = store.gc(max_bytes=max_bytes,
+                           max_artifacts=args.max_artifacts)
+        for digest in evicted:
+            print(f"evicted {digest}")
+        print(f"{len(evicted)} evicted; {len(store)} artifacts, "
+              f"{store.total_bytes / 2 ** 20:.2f} MiB remain")
 
 
 def cmd_loadgen(args) -> None:
@@ -231,6 +337,14 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
                         help="feature wire codec (raw32, f16, q8; any base "
                              "+zlib). Ignored with --plan (the plan carries "
                              "its codec)")
+    parser.add_argument("--store", default=None,
+                        help="artifact-store directory: warm-boot weights "
+                             "from it when populated, populate it on a "
+                             "cold boot")
+    parser.add_argument("--train-fusion", action="store_true",
+                        help="train the demo fleet (the expensive step an "
+                             "artifact store amortizes). Ignored with "
+                             "--plan (the plan's build recipe decides)")
     parser.add_argument("--batch", type=int, default=16,
                         help="dynamic batcher max samples per dispatch")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -281,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(raw32, f16, q8, any base +zlib), or 'auto' "
                              "to DES-score candidates and keep the fastest "
                              "within the accuracy-drop bound")
+    p_plan.add_argument("--store", default=None,
+                        help="artifact-store directory: warm-boot the "
+                             "planned weights when populated, populate it "
+                             "cold; refs are recorded in the plan JSON")
     p_plan.add_argument("--out", default=None,
                         help="write the plan JSON here (default: stdout)")
     p_plan.set_defaults(func=cmd_plan)
@@ -314,6 +432,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-replan", action="store_true",
                          help="with --plan: disable replanning (zero-fill "
                               "degraded mode only)")
+    p_serve.add_argument("--swap-after", type=float, default=None,
+                         help="rolling-swap the first fusion slot's worker "
+                              "from its store artifact after this many "
+                              "seconds (needs --plan and --store); zero "
+                              "requests are dropped")
+    p_serve.add_argument("--json", action="store_true",
+                         help="emit the run report as JSON (machine-"
+                              "readable; empty-window stats are null)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -327,6 +453,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run closed-loop batch=1 vs dynamic "
                              "batching")
     p_load.set_defaults(func=cmd_loadgen)
+
+    p_art = sub.add_parser(
+        "artifacts", help="inspect or garbage-collect a model artifact store")
+    art_sub = p_art.add_subparsers(dest="action", required=True)
+    p_ls = art_sub.add_parser("ls", help="list artifacts, most recent first")
+    p_ls.add_argument("--store", required=True,
+                      help="artifact-store directory")
+    p_ls.set_defaults(func=cmd_artifacts)
+    p_gc = art_sub.add_parser(
+        "gc", help="evict least-recently-used artifacts to fit the bounds")
+    p_gc.add_argument("--store", required=True,
+                      help="artifact-store directory")
+    p_gc.add_argument("--max-mb", type=float, default=None,
+                      help="keep the store under this many MiB")
+    p_gc.add_argument("--max-artifacts", type=int, default=None,
+                      help="keep at most this many artifacts")
+    p_gc.set_defaults(func=cmd_artifacts)
 
     return parser
 

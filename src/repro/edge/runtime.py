@@ -301,7 +301,10 @@ class EdgeCluster:
         ids = [w.worker_id for w in workers]
         if len(set(ids)) != len(ids):
             raise ValueError("worker ids must be unique")
-        self._specs = workers
+        # Own copy: add_worker appends (replanning/rolling swaps), and
+        # mutating the caller's list would leak replacement specs into
+        # every cluster later built from it.
+        self._specs = list(workers)
         self._time_scale = time_scale
         self._transport = get_transport(transport)
         self._handles: dict[str, WorkerHandle] = {}
@@ -399,8 +402,11 @@ class EdgeCluster:
         self._specs.append(spec)
         if not self._started:
             return                     # start() will spawn it with the rest
+        # The handle stays private until the worker reports ready: once
+        # registered in _handles a concurrently-polling serving thread
+        # would race this handshake for the channel and could consume
+        # the "ready" message itself.
         handle = self._transport.spawn(spec, self._time_scale, _worker_main)
-        self._handles[spec.worker_id] = handle
         try:
             if not handle.poll(ready_timeout):
                 raise RuntimeError(
@@ -412,23 +418,37 @@ class EdgeCluster:
                 raise RuntimeError(
                     f"worker {spec.worker_id} failed to start: {detail}")
         except (EOFError, OSError) as exc:
-            self.mark_down(spec.worker_id, f"failed to start: {exc}")
+            self._retire_unready(spec.worker_id, handle,
+                                 f"failed to start: {exc}")
             raise RuntimeError(
                 f"worker {spec.worker_id} died during startup") from exc
         except RuntimeError as exc:
-            self.mark_down(spec.worker_id, str(exc))
+            self._retire_unready(spec.worker_id, handle, str(exc))
             raise
+        self._handles[spec.worker_id] = handle
+
+    def _retire_unready(self, worker_id: str, handle: WorkerHandle,
+                        reason: str) -> None:
+        """Mark a never-registered worker down and reap its handle."""
+        self._down[worker_id] = reason
+        handle.close()
+        if handle.alive():
+            handle.kill()
 
     def shutdown(self) -> None:
         """Stop all workers.  Idempotent, and tolerant of dead workers."""
         if not self._started:
             return
-        for handle in self._handles.values():
+        # Snapshot once: a concurrent mark_down (e.g. a rolling swap
+        # retiring the worker it just drained) pops from _handles, and
+        # mutating a dict mid-iteration kills the shutdown halfway.
+        handles = list(self._handles.values())
+        for handle in handles:
             try:
                 handle.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass                       # worker already gone
-        for handle in self._handles.values():
+        for handle in handles:
             deadline = time.perf_counter() + 5.0
             while True:                    # drain stale replies until stopped
                 remaining = deadline - time.perf_counter()
@@ -439,7 +459,7 @@ class EdgeCluster:
                         break
                 except (EOFError, OSError):
                     break
-        for handle in self._handles.values():
+        for handle in handles:
             handle.join(timeout=10)
             handle.close()
         self._handles.clear()
@@ -551,8 +571,16 @@ class EdgeCluster:
                 time.sleep(timeout)
             return []
         replies: list[tuple[str, tuple]] = []
-        for handle in self._transport.wait(list(self._handles.values()),
-                                           timeout):
+        try:
+            ready = self._transport.wait(list(self._handles.values()),
+                                         timeout)
+        except (OSError, ValueError):
+            # A handle in our snapshot was closed mid-wait (e.g. a
+            # rolling swap retiring a worker from another thread).  The
+            # caller's gather loop re-polls immediately with a fresh
+            # snapshot, so skipping this cycle loses nothing.
+            return []
+        for handle in ready:
             worker_id = handle.worker_id
             while True:                # drain everything already buffered
                 try:

@@ -60,6 +60,7 @@ from .modules import (
 )
 from .optim import Adam, DecayingLR, Optimizer, SGD, clip_grad_norm
 from .serialization import (
+    checkpoint_path,
     load_checkpoint,
     save_checkpoint,
     state_dict_from_bytes,
@@ -108,6 +109,7 @@ __all__ = [
     "accuracy",
     "as_tensor",
     "available_backends",
+    "checkpoint_path",
     "clip_grad_norm",
     "concat",
     "cross_entropy",

@@ -18,7 +18,16 @@ class Optimizer:
     """Base class: holds the parameter list and the learning rate."""
 
     def __init__(self, params: Iterable[Parameter], lr: float):
-        self.params = [p for p in params]
+        # Dedup by identity, preserving first-seen order: concatenated
+        # param lists that share a module (e.g. sub-models + fusion) must
+        # not step the shared parameter twice per step() or allocate
+        # conflicting per-parameter optimizer state.
+        seen: set[int] = set()
+        self.params = []
+        for p in params:
+            if id(p) not in seen:
+                seen.add(id(p))
+                self.params.append(p)
         if not self.params:
             raise ValueError("optimizer received no parameters")
         self.lr = lr

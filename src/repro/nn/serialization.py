@@ -17,19 +17,43 @@ from .modules import Module
 _CONFIG_KEY = "__config_json__"
 
 
-def save_checkpoint(model: Module, path: str | Path, config: dict | None = None) -> None:
+def checkpoint_path(path: str | Path) -> Path:
+    """The on-disk path a checkpoint lands at, ``.npz`` suffix included.
+
+    ``np.savez_compressed`` appends ``.npz`` when the path lacks the
+    suffix, so save and load must agree on one normalized name — a caller
+    passing the same suffix-less path to both must round-trip.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_checkpoint(model: Module, path: str | Path, config: dict | None = None) -> Path:
+    """Write ``model``'s state (plus optional config blob) as an ``.npz``.
+
+    Returns the normalized path actually written (see
+    :func:`checkpoint_path`).
+    """
     state = model.state_dict()
+    if _CONFIG_KEY in state:
+        raise ValueError(
+            f"state dict key {_CONFIG_KEY!r} collides with the checkpoint "
+            "config sentinel; rename that parameter")
     payload = dict(state)
     if config is not None:
         payload[_CONFIG_KEY] = np.frombuffer(
             json.dumps(config).encode("utf-8"), dtype=np.uint8)
-    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    path = checkpoint_path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(path, **payload)
+    return path
 
 
 def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict | None]:
     """Return (state_dict, config) from a checkpoint file."""
-    with np.load(path, allow_pickle=False) as archive:
+    with np.load(checkpoint_path(path), allow_pickle=False) as archive:
         state = {}
         config = None
         for key in archive.files:

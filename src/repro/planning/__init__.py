@@ -12,8 +12,9 @@ onto surviving devices' residual capacity at runtime so fusion recovers
 real features instead of zero-filling forever.
 """
 
-from .execute import PlannedSystem, plan_demo_system
+from .execute import PlannedSystem, plan_artifact_digests, plan_demo_system
 from .plan import (
+    FUSION_ARTIFACT,
     DeploymentPlan,
     PlanPrediction,
     PlannedDevice,
@@ -31,6 +32,7 @@ from .replan import ReplanInfeasible, replan_on_failure, residual_capacity
 __all__ = [
     "DEFAULT_CANDIDATE_CODECS",
     "DeploymentPlan",
+    "FUSION_ARTIFACT",
     "PlanPrediction",
     "PlannedDevice",
     "PlannedSubModel",
@@ -39,6 +41,7 @@ __all__ = [
     "PlannerConfig",
     "PlanningError",
     "ReplanInfeasible",
+    "plan_artifact_digests",
     "plan_demo_system",
     "replan_on_failure",
     "residual_capacity",

@@ -23,20 +23,24 @@ import dataclasses
 import numpy as np
 
 from .. import nn
-from ..data import cifar10_like
 from ..edge.device import DeviceModel
 from ..edge.network import LinkModel
 from ..edge.runtime import MODEL_KINDS, EdgeCluster, WorkerSpec
 from ..models.fusion import FusionConfig, FusionMLP, build_fusion_for
 from ..profiling import model_flops, module_param_count, param_bytes
-from ..serving.demo import _tiny_model, fused_labels, train_demo_system
+from ..serving.demo import (
+    DEMO_RECIPE,
+    _tiny_model,
+    demo_dataset,
+    fused_labels,
+    train_demo_system,
+)
 from ..serving.server import InferenceServer, ServerConfig
 from ..splitting.class_assignment import balanced_class_partition
-from .plan import DeploymentPlan, PlannedSubModel
+from ..store import ArtifactStore, recipe_digest, warm_load
+from .plan import FUSION_ARTIFACT, DeploymentPlan, PlannedSubModel
 from .planner import Planner, PlannerConfig
 from .replan import replan_on_failure
-
-DEMO_RECIPE = "demo-v1"
 
 
 def _build_model(kind: str, config: dict, rng: np.random.Generator):
@@ -48,6 +52,54 @@ def _build_model(kind: str, config: dict, rng: np.random.Generator):
         return entry.build(cfg)
 
 
+def plan_artifact_digests(plan: DeploymentPlan) -> dict[str, str]:
+    """Recipe digests for every artifact a plan rebuilds (incl. fusion)."""
+    return {name: recipe_digest(recipe)
+            for name, recipe in plan.artifact_recipes().items()}
+
+
+def _warm_boot_from_store(plan: DeploymentPlan, store: ArtifactStore,
+                          digests: dict[str, str],
+                          ) -> tuple[list[nn.Module], FusionMLP] | None:
+    """Checkpoint-load every module of ``plan`` from ``store``.
+
+    Returns ``None`` when any artifact is missing (caller falls back to
+    the deterministic rebuild); integrity failures raise
+    :class:`repro.store.ArtifactCorrupt` rather than silently retraining
+    over a tampered store.
+    """
+    if not all(store.has(digest) for digest in digests.values()):
+        return None
+    models = [_build_model(sub.model_kind, sub.model_config,
+                           np.random.default_rng(plan.seed + index))
+              for index, sub in enumerate(plan.submodels)]
+    fusion = FusionMLP(FusionConfig.from_dict(dict(plan.fusion_config)),
+                       rng=np.random.default_rng(plan.seed + 1000))
+    modules: dict[str, nn.Module] = {
+        sub.model_id: model
+        for sub, model in zip(plan.submodels, models)}
+    modules[FUSION_ARTIFACT] = fusion
+    if not warm_load(store, digests, modules):
+        return None                    # pragma: no cover - raced removal
+    return models, fusion
+
+
+def _populate_store(plan: DeploymentPlan, store: ArtifactStore,
+                    digests: dict[str, str], models: list[nn.Module],
+                    fusion: FusionMLP) -> None:
+    """Write every module of a cold-built system into the store."""
+    recipes = plan.artifact_recipes()
+    for sub, model in zip(plan.submodels, models):
+        store.put(digests[sub.model_id], model,
+                  config=dict(sub.model_config), kind=sub.model_kind,
+                  meta={"model_id": sub.model_id,
+                        "recipe": recipes[sub.model_id]})
+    store.put(digests[FUSION_ARTIFACT], fusion,
+              config=dict(plan.fusion_config), kind=FUSION_ARTIFACT,
+              meta={"model_id": FUSION_ARTIFACT,
+                    "recipe": recipes[FUSION_ARTIFACT]})
+
+
 @dataclasses.dataclass
 class PlannedSystem:
     """A deployment plan plus the concrete models/fusion it describes."""
@@ -57,6 +109,7 @@ class PlannedSystem:
     fusion: FusionMLP
     time_scale: float = 0.0
     transport: str = "multiprocess"    # repro.edge.transport substrate
+    warm_booted: bool = False          # weights came from an artifact store
 
     def __post_init__(self):
         # worker_id -> model_id; starts as identity (plan-booted clusters
@@ -110,9 +163,7 @@ class PlannedSystem:
         build = self.plan.build
         if build.get("recipe") != DEMO_RECIPE:
             raise ValueError("plan has no demo dataset recipe")
-        return cifar10_like(image_size=int(build["image_size"]),
-                            train_per_class=48, test_per_class=16,
-                            noise_std=0.3, seed=self.plan.seed)
+        return demo_dataset(int(build["image_size"]), self.plan.seed)
 
     # -- replanning ----------------------------------------------------
     def replan_hook(self, server: InferenceServer,
@@ -168,18 +219,69 @@ class PlannedSystem:
         self.plan = new_plan
         return hosting
 
+    # -- rolling deployment --------------------------------------------
+    def swap_from_store(self, server: InferenceServer, model_id: str,
+                        store: ArtifactStore,
+                        digest: str | None = None) -> str:
+        """Zero-downtime rolling swap of one sub-model from an artifact.
+
+        Boots a fresh worker for ``model_id`` from the store artifact
+        (``digest`` defaults to the plan's recorded ref, falling back to
+        the recipe digest), then hands it to
+        :meth:`~repro.serving.server.InferenceServer.swap_worker`, which
+        drains in-flight batches and atomically retargets the fusion
+        slot — no request is dropped.  Returns the new worker id.
+        """
+        if digest is None:
+            digest = self.plan.artifacts.get(model_id) \
+                or recipe_digest(self.plan.submodel_recipe(model_id))
+        index = self.plan.model_ids.index(model_id)
+        sub = self.plan.submodels[index]
+        state, config = store.get(digest)
+        model = _build_model(sub.model_kind, config or sub.model_config,
+                             np.random.default_rng(self.plan.seed + index))
+        model.load_state_dict(state)
+        generation = 1 + sum(
+            1 for worker in server.cluster.worker_ids
+            if worker.startswith(f"{model_id}@swap"))
+        worker_id = f"{model_id}@swap{generation}"
+        spec = WorkerSpec.from_plan(self.plan, model_id, model,
+                                    worker_id=worker_id)
+        swapped = server.swap_worker(model_id, spec)
+        self._worker_model[worker_id] = model_id
+        self.models[index] = model     # keep the local twin in sync
+        self.plan.artifacts[model_id] = digest
+        return swapped
+
     # -- deterministic rebuild -----------------------------------------
     @staticmethod
     def from_plan(plan: DeploymentPlan,
                   time_scale: float = 0.0,
-                  transport: str = "multiprocess") -> "PlannedSystem":
+                  transport: str = "multiprocess",
+                  store: ArtifactStore | None = None) -> "PlannedSystem":
         """Rebuild models, weights, and fusion from a plan's recipe.
 
         Every module is constructed from its stored config with the
         plan-seeded rng, then (for trained recipes) re-trained with the
         recorded deterministic protocol — so a JSON plan alone is enough
         to reproduce the exact system that was planned.
+
+        ``store`` short-circuits the expensive part: when every artifact
+        the plan references is present, weights are checkpoint-loaded
+        (warm boot, no training); otherwise the cold rebuild runs and its
+        results populate the store.  Either way ``plan.artifacts``
+        records the refs afterwards.
         """
+        digests: dict[str, str] = {}
+        if store is not None:
+            digests = plan_artifact_digests(plan)
+            loaded = _warm_boot_from_store(plan, store, digests)
+            if loaded is not None:
+                models, fusion = loaded
+                plan.artifacts = dict(digests)
+                return PlannedSystem(plan=plan, models=models, fusion=fusion,
+                                     time_scale=time_scale,
+                                     transport=transport, warm_booted=True)
         models = [_build_model(sub.model_kind, sub.model_config,
                                np.random.default_rng(plan.seed + index))
                   for index, sub in enumerate(plan.submodels)]
@@ -194,6 +296,9 @@ class PlannedSystem:
                               image_size=int(build["image_size"]),
                               seed=plan.seed,
                               fusion_epochs=int(build.get("fusion_epochs", 8)))
+        if store is not None:
+            _populate_store(plan, store, digests, models, fusion)
+            plan.artifacts = dict(digests)
         return PlannedSystem(plan=plan, models=models, fusion=fusion,
                              time_scale=time_scale, transport=transport)
 
@@ -205,7 +310,8 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
                      time_scale: float = 0.0,
                      config: PlannerConfig | None = None,
                      codec: str = "raw32",
-                     transport: str = "multiprocess") -> PlannedSystem:
+                     transport: str = "multiprocess",
+                     store: ArtifactStore | None = None) -> PlannedSystem:
     """Plan a small (optionally heterogeneous) serveable demo fleet.
 
     Builds one tiny sub-model per class group, profiles them, sizes a
@@ -221,6 +327,11 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
     predicted latency within the accuracy-drop bound — measured against
     the trained system when ``train_fusion`` is set, by nominal codec
     drops otherwise.
+
+    ``store`` warm-boots the weights from artifacts when every ref of
+    the plan's rebuild recipe is present (skipping training), and
+    populates the store after a cold build; the emitted plan records the
+    artifact refs either way.
     """
     if throughputs is None:
         throughputs = [1.0 / (1 + 0.5 * i) for i in range(num_workers)]
@@ -236,16 +347,12 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
     build = {"recipe": DEMO_RECIPE, "model_kind": model_kind,
              "image_size": image_size, "train_fusion": bool(train_fusion),
              "fusion_epochs": fusion_epochs}
-    accuracy = None
-    if train_fusion:
-        dataset = train_demo_system(models, fusion, image_size, seed,
-                                    fusion_epochs)
 
     partition = balanced_class_partition(num_classes, num_workers,
                                          rng=np.random.default_rng(seed))
     submodels = [
         PlannedSubModel(model_id=f"submodel-{index}",
-                        classes=tuple(partition[index]),
+                        classes=tuple(int(c) for c in partition[index]),
                         hp=0,
                         size_bytes=param_bytes(module_param_count(model)),
                         flops_per_sample=float(model_flops(model_kind,
@@ -273,6 +380,13 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
         planner_config = dataclasses.replace(config, codec=codec)
     else:
         planner_config = config
+    if planner_config.seed != seed:
+        # The models, partition, and training protocol are all seeded by
+        # the ``seed`` argument; the plan (and therefore every artifact
+        # recipe and the cold rebuild) records ``config.seed``.  A split
+        # seed would store weights under a recipe digest the rebuild
+        # cannot reproduce — keep one seed source.
+        planner_config = dataclasses.replace(planner_config, seed=seed)
     devices = [DeviceModel(device_id=f"edge-{index}",
                            macs_per_second=1e12 * factor,
                            memory_bytes=3 * max_size,
@@ -283,11 +397,36 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
     link = LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0)
 
     planner = Planner(devices, fusion_device, link, planner_config)
+    # The plan is assembled *before* training so its artifact recipes are
+    # the single source of digest truth for the store lookup below.
+    plan = planner.plan_submodels(num_classes, partition, submodels,
+                                  build=build)
+
+    warm = False
+    digests: dict[str, str] = {}
+    if store is not None:
+        digests = plan_artifact_digests(plan)
+        loaded = _warm_boot_from_store(plan, store, digests)
+        if loaded is not None:
+            models, fusion = loaded
+            warm = True
+    dataset = None
+    if train_fusion:
+        if warm:
+            dataset = demo_dataset(image_size, seed)
+        else:
+            dataset = train_demo_system(models, fusion, image_size, seed,
+                                        fusion_epochs)
+    if store is not None:
+        if not warm:
+            _populate_store(plan, store, digests, models, fusion)
+        plan.artifacts = dict(digests)
+
     if train_fusion:
         labels = fused_labels(models, fusion, dataset.x_test)
         accuracy = float((labels == dataset.y_test).mean())
-    plan = planner.plan_submodels(num_classes, partition, submodels,
-                                  build=build, accuracy=accuracy)
+        plan.prediction = dataclasses.replace(plan.prediction,
+                                              accuracy=accuracy)
     if select:
         measure = None
         if train_fusion:
@@ -297,4 +436,5 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
                 return float((labels == dataset.y_test).mean())
         plan = planner.select_codec(plan, measure_accuracy=measure)
     return PlannedSystem(plan=plan, models=models, fusion=fusion,
-                         time_scale=time_scale, transport=transport)
+                         time_scale=time_scale, transport=transport,
+                         warm_booted=warm)

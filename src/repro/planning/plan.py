@@ -29,8 +29,19 @@ from ..edge.device import DeviceModel
 from ..edge.network import DEFAULT_OVERHEAD_S, LinkModel, StarTopology, TC_CAP_BPS
 from ..edge.simulator import DeploymentSpec, SubModelProfile
 from ..splitting.class_assignment import validate_partition
+from .. import store as store_recipes
 
 FORMAT_VERSION = 1
+
+# Key under which the fusion MLP's artifact ref is recorded in
+# DeploymentPlan.artifacts (sub-models are keyed by their model_id).
+FUSION_ARTIFACT = "fusion"
+
+# The subset of DeploymentPlan.build that determines the trained weights.
+# Scoring knobs ("scoring", "codec_selection") and the wire codec change
+# predictions, not parameters, so they must not change artifact digests.
+_TRAIN_BUILD_KEYS = ("recipe", "model_kind", "image_size", "train_fusion",
+                     "fusion_epochs")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -165,6 +176,11 @@ class DeploymentPlan:
     num_samples: int = 1               # workload sizing used for assignment
     seed: int = 0
     codec: str = "raw32"               # wire codec for shipped features
+    # Artifact refs: model_id (plus FUSION_ARTIFACT) -> recipe digest in
+    # a repro.store.ArtifactStore.  Populated the first time the plan is
+    # materialized against a store; a later boot with the same store
+    # warm-loads the checkpoints instead of retraining.
+    artifacts: dict[str, str] = dataclasses.field(default_factory=dict)
     prediction: PlanPrediction | None = None
     build: dict = dataclasses.field(default_factory=dict)
     history: list[dict] = dataclasses.field(default_factory=list)
@@ -230,6 +246,49 @@ class DeploymentPlan:
     def feature_dims(self) -> dict[str, int]:
         return {m.model_id: m.feature_dim for m in self.submodels}
 
+    # -- artifact rebuild recipes --------------------------------------
+    def train_recipe(self) -> dict:
+        """The weight-determining slice of ``build`` (digest-stable)."""
+        return {key: self.build[key] for key in _TRAIN_BUILD_KEYS
+                if key in self.build}
+
+    def submodel_recipe(self, model_id: str) -> dict:
+        """The deterministic rebuild recipe one sub-model is keyed by.
+
+        Everything that determines the trained weights — kind, exact
+        config, head-pruning number, class group, per-model seed, and the
+        training protocol — and nothing that doesn't (codec, mapping,
+        scoring), so a replanned or re-scored plan keeps its artifacts.
+        The shape is :func:`repro.store.submodel_recipe` (shared with the
+        demo builder, so digest schemas cannot drift).
+        """
+        index = self.model_ids.index(model_id)
+        sub = self.submodels[index]
+        return store_recipes.submodel_recipe(
+            kind=sub.model_kind, config=sub.model_config, hp=sub.hp,
+            classes=sub.classes, seed=self.seed + index,
+            train=self.train_recipe())
+
+    def fusion_recipe(self) -> dict:
+        """The fusion MLP's rebuild recipe.
+
+        Fusion trains on the concatenated features of *all* sub-models,
+        so its identity embeds every sub-model recipe: retrain any
+        sub-model and the fusion artifact is invalidated with it.
+        """
+        return store_recipes.fusion_recipe(
+            config=self.fusion_config, seed=self.seed + 1000,
+            train=self.train_recipe(),
+            submodels=[self.submodel_recipe(m.model_id)
+                       for m in self.submodels])
+
+    def artifact_recipes(self) -> dict[str, dict]:
+        """All rebuild recipes, keyed like :attr:`artifacts`."""
+        recipes = {m.model_id: self.submodel_recipe(m.model_id)
+                   for m in self.submodels}
+        recipes[FUSION_ARTIFACT] = self.fusion_recipe()
+        return recipes
+
     def validate(self) -> None:
         """Raise if the plan is internally inconsistent or over capacity."""
         validate_partition(self.partition, self.num_classes)
@@ -264,6 +323,7 @@ class DeploymentPlan:
             "num_samples": self.num_samples,
             "seed": self.seed,
             "codec": self.codec,
+            "artifacts": dict(self.artifacts),
             "prediction": None if self.prediction is None
             else self.prediction.to_dict(),
             "build": dict(self.build),
@@ -288,6 +348,8 @@ class DeploymentPlan:
             num_samples=int(data.get("num_samples", 1)),
             seed=int(data.get("seed", 0)),
             codec=str(data.get("codec", "raw32")),
+            artifacts={str(k): str(v)
+                       for k, v in data.get("artifacts", {}).items()},
             prediction=None if prediction is None
             else PlanPrediction.from_dict(prediction),
             build=dict(data.get("build", {})),

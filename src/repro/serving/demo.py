@@ -27,6 +27,24 @@ from ..models.fusion import FusionMLP, build_fusion_for
 from ..models.snn import ConvSNN, SNNConfig
 from ..models.vgg import VGG, VGGConfig
 from ..models.vit import ViTConfig, VisionTransformer
+from ..store import (
+    ArtifactStore,
+    fusion_recipe,
+    recipe_digest,
+    submodel_recipe,
+    warm_load,
+)
+
+# Name of the deterministic demo training protocol; recorded in plan
+# ``build`` dicts and artifact recipes so a digest pins the exact
+# protocol the weights came from.
+DEMO_RECIPE = "demo-v1"
+
+
+def demo_dataset(image_size: int, seed: int):
+    """The seeded synthetic dataset of the ``demo-v1`` training recipe."""
+    return cifar10_like(image_size=image_size, train_per_class=48,
+                        test_per_class=16, noise_std=0.3, seed=seed)
 
 
 def _tiny_model(kind: str, num_classes: int, image_size: int,
@@ -91,6 +109,8 @@ class DemoSystem:
     time_scale: float = 0.0
     transport: str = "multiprocess"    # repro.edge.transport substrate
     codec: str = "raw32"               # wire codec the specs carry
+    warm_booted: bool = False          # weights came from an artifact store
+    artifacts: dict[str, str] = dataclasses.field(default_factory=dict)
 
     def make_cluster(self) -> EdgeCluster:
         return EdgeCluster(self.specs, time_scale=self.time_scale,
@@ -121,8 +141,7 @@ def train_demo_system(models: list[nn.Module], fusion: FusionMLP,
     if fusion.config.num_classes != 10:
         raise ValueError("train_fusion uses the 10-class synthetic set; "
                          "pass num_classes=10")
-    dataset = cifar10_like(image_size=image_size, train_per_class=48,
-                           test_per_class=16, noise_std=0.3, seed=seed)
+    dataset = demo_dataset(image_size, seed)
     for index, model in enumerate(models):
         train_classifier(model, dataset.x_train, dataset.y_train,
                          TrainConfig(epochs=fusion_epochs, lr=3e-3,
@@ -135,6 +154,31 @@ def train_demo_system(models: list[nn.Module], fusion: FusionMLP,
     return dataset
 
 
+def _demo_recipes(models: list[nn.Module], fusion: FusionMLP,
+                  model_kind: str, image_size: int, train_fusion: bool,
+                  fusion_epochs: int, seed: int) -> dict[str, dict]:
+    """Rebuild recipes for a demo fleet, keyed by worker id + "fusion".
+
+    The same shape as :meth:`repro.planning.DeploymentPlan.
+    submodel_recipe` (kind, config, hp, classes, seed, train settings),
+    with ``classes=None`` because the demo trains every sub-model on all
+    classes rather than a partition subset.
+    """
+    train = {"recipe": DEMO_RECIPE, "model_kind": model_kind,
+             "image_size": int(image_size),
+             "train_fusion": bool(train_fusion),
+             "fusion_epochs": int(fusion_epochs)}
+    recipes = {f"w{index}": submodel_recipe(kind=model_kind,
+                                            config=model.config.to_dict(),
+                                            hp=0, classes=None,
+                                            seed=seed + index, train=train)
+               for index, model in enumerate(models)}
+    recipes["fusion"] = fusion_recipe(config=fusion.config.to_dict(),
+                                      seed=seed + 1000, train=train,
+                                      submodels=list(recipes.values()))
+    return recipes
+
+
 def build_demo_system(num_workers: int = 2, model_kind: str = "vit",
                       num_classes: int = 10, image_size: int = 8,
                       seed: int = 0, time_scale: float = 0.0,
@@ -142,32 +186,59 @@ def build_demo_system(num_workers: int = 2, model_kind: str = "vit",
                       fusion_epochs: int = 8,
                       transport: str = "multiprocess",
                       codec: str = "raw32",
-                      link: LinkModel | None = None) -> DemoSystem:
+                      link: LinkModel | None = None,
+                      store: ArtifactStore | None = None) -> DemoSystem:
     """Build an ``num_workers``-device demo split of ``model_kind``.
 
     ``transport`` picks the worker substrate, ``codec`` the feature wire
     codec, and ``link`` overrides the default (effectively free) uplink —
     e.g. :func:`repro.edge.network.tc_capped_link` plus a nonzero
     ``time_scale`` makes the fleet communication-bound like the paper's.
+
+    ``store`` enables warm boot: when every artifact of this system's
+    rebuild recipe is present, the weights are checkpoint-loaded and
+    training is skipped entirely; otherwise the system is built cold and
+    the store is populated, so the next boot is warm.
     """
     models = [_tiny_model(model_kind, num_classes, image_size,
                           np.random.default_rng(seed + index))
               for index in range(num_workers)]
     link = link or LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0)
+    fusion = build_fusion_for([m.feature_dim() for m in models],
+                              num_classes=num_classes,
+                              rng=np.random.default_rng(seed + 1000))
+    warm = False
+    digests: dict[str, str] = {}
+    recipes: dict[str, dict] = {}
+    if store is not None:
+        recipes = _demo_recipes(models, fusion, model_kind, image_size,
+                                train_fusion, fusion_epochs, seed)
+        digests = {name: recipe_digest(recipe)
+                   for name, recipe in recipes.items()}
+        modules = {f"w{index}": model
+                   for index, model in enumerate(models)}
+        modules["fusion"] = fusion
+        warm = warm_load(store, digests, modules)
+    if not warm and train_fusion:
+        train_demo_system(models, fusion, image_size, seed, fusion_epochs)
+    if not warm and store is not None:
+        for index, model in enumerate(models):
+            name = f"w{index}"
+            store.put(digests[name], model, config=model.config.to_dict(),
+                      kind=model_kind,
+                      meta={"model_id": name, "recipe": recipes[name]})
+        store.put(digests["fusion"], fusion,
+                  config=fusion.config.to_dict(), kind="fusion",
+                  meta={"model_id": "fusion", "recipe": recipes["fusion"]})
+    # Specs are cut after the weights are resolved (warm-loaded or
+    # trained), so every worker ships the final state blob.
     specs = [WorkerSpec.from_model(
         f"w{index}", model, model_kind, flops_per_sample=1e6,
         device=DeviceModel(device_id=f"w{index}", macs_per_second=1e12),
         link=link, codec=codec)
         for index, model in enumerate(models)]
-    fusion = build_fusion_for([m.feature_dim() for m in models],
-                              num_classes=num_classes,
-                              rng=np.random.default_rng(seed + 1000))
-    if train_fusion:
-        train_demo_system(models, fusion, image_size, seed, fusion_epochs)
-        # Refresh the worker specs so they ship the trained weights.
-        for spec, model in zip(specs, models):
-            spec.state_blob = nn.state_dict_to_bytes(model.state_dict())
     return DemoSystem(specs=specs, models=models, fusion=fusion,
                       input_shape=(3, image_size, image_size),
                       num_classes=num_classes, time_scale=time_scale,
-                      transport=transport, codec=codec)
+                      transport=transport, codec=codec,
+                      warm_booted=warm, artifacts=dict(digests))

@@ -25,7 +25,7 @@ import numpy as np
 
 from .batcher import RequestError, ServedFuture
 from .server import InferenceServer
-from .telemetry import ServingReport, percentile
+from .telemetry import ServingReport, _round, percentile
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,15 +60,15 @@ class LoadgenResult:
     futures: list[ServedFuture] = dataclasses.field(default_factory=list)
 
     @property
-    def p50_s(self) -> float:
+    def p50_s(self) -> float | None:
         return percentile(self.latencies_s, 50)
 
     @property
-    def p95_s(self) -> float:
+    def p95_s(self) -> float | None:
         return percentile(self.latencies_s, 95)
 
     @property
-    def p99_s(self) -> float:
+    def p99_s(self) -> float | None:
         return percentile(self.latencies_s, 99)
 
     def row(self) -> dict:
@@ -80,9 +80,9 @@ class LoadgenResult:
             "completed": self.completed,
             "errors": self.errors,
             "dropped": self.dropped,
-            "p50_ms": round(self.p50_s * 1e3, 3),
-            "p95_ms": round(self.p95_s * 1e3, 3),
-            "p99_ms": round(self.p99_s * 1e3, 3),
+            "p50_ms": _round(self.p50_s, 3, 1e3),
+            "p95_ms": _round(self.p95_s, 3, 1e3),
+            "p99_ms": _round(self.p99_s, 3, 1e3),
             "wire_in_kb": round(self.report.wire_bytes_in / 1024, 1),
             "bw_mbps": round(self.report.effective_bw_mbps, 3),
         }

@@ -38,7 +38,7 @@ from typing import Callable
 import numpy as np
 
 from ..core.inference import predict, split_batch
-from ..edge.runtime import EdgeCluster
+from ..edge.runtime import EdgeCluster, WorkerSpec
 from .batcher import (
     Batch,
     BatchingConfig,
@@ -79,10 +79,15 @@ class InferenceServer:
         self._health_snapshot: dict[str, str] | None = None
         self._input_shape: tuple[int, ...] | None = None
         # Fusion layout: one slot per sub-model (captured at first start),
-        # each hosted by some worker.  Replanning rewrites the hosting.
+        # each hosted by some worker.  Replanning rewrites the hosting;
+        # rolling swaps retarget single slots from other threads, so all
+        # hosting reads/writes go through _hosting_lock and the serve
+        # loop works from a per-batch snapshot.
         self._replanner = replanner
         self._slots: list[str] = []
         self._hosting: dict[str, str] = {}
+        self._hosting_lock = threading.Lock()
+        self._inflight_hosts: set[str] = set()
         self._slot_dims: dict[str, int] = {}
         self._replan_attempted: set[str] = set()
 
@@ -202,8 +207,64 @@ class InferenceServer:
         return list(self._slots)
 
     def hosting(self) -> dict[str, str]:
-        """Current slot→worker hosting map (identity until a replan)."""
-        return dict(self._hosting)
+        """Current slot→worker hosting map (identity until a replan/swap)."""
+        with self._hosting_lock:
+            return dict(self._hosting)
+
+    def swap_worker(self, slot: str, spec: WorkerSpec,
+                    drain_timeout_s: float = 30.0) -> str:
+        """Zero-downtime rolling swap: replace ``slot``'s hosting worker.
+
+        The rolling-deployment primitive: boot ``spec`` (e.g. a worker
+        carrying a new model artifact), wait until it reports ready,
+        atomically retarget the fusion slot at it, drain any in-flight
+        batch still owed by the old worker, then retire the old worker.
+        Requests are never dropped: batches dispatched before the swap
+        gather from the old worker (still alive until drained), batches
+        after it from the new one.
+
+        The replacement must produce the slot's feature width (the
+        fusion MLP's input layout is immutable).  Raises if the new
+        worker fails to start — the old worker keeps serving, so a bad
+        artifact cannot take the slot down.  Returns the new worker id.
+        """
+        if not self._slots:
+            raise RuntimeError("no fusion layout yet; start the server "
+                               "before swapping workers")
+        if slot not in self._slots:
+            raise KeyError(f"unknown fusion slot {slot!r}; "
+                           f"slots: {self._slots}")
+        expected = self._slot_dims.get(slot)
+        if expected is not None and spec.feature_dim is not None \
+                and int(spec.feature_dim) != int(expected):
+            raise ValueError(
+                f"slot {slot!r} fuses {expected}-dim features but the "
+                f"replacement produces {spec.feature_dim}")
+        # Spawn first, swap second: the slot keeps its old worker until
+        # the replacement has proven it can serve.
+        self._cluster.add_worker(spec)
+        with self._hosting_lock:
+            old = self._hosting.get(slot, slot)
+            self._hosting[slot] = spec.worker_id
+        self._replan_attempted.discard(spec.worker_id)
+        if old == spec.worker_id or not self._cluster.started:
+            return spec.worker_id
+        if old in set(self.hosting().values()):
+            # The old worker still hosts another slot (co-hosted after a
+            # replan); it must keep running.
+            return spec.worker_id
+        # Drain: wait for the serve loop to finish any batch the old
+        # worker was dispatched in, then retire it.  Even on timeout the
+        # batch merely degrades (zero-fill) — it is never dropped.
+        deadline = time.perf_counter() + drain_timeout_s
+        while time.perf_counter() < deadline:
+            with self._hosting_lock:
+                busy = old in self._inflight_hosts
+            if not busy:
+                break
+            time.sleep(min(0.002, self.config.poll_interval_s))
+        self._cluster.mark_down(old, "retired by rolling swap")
+        return spec.worker_id
 
     def worker_health(self) -> dict[str, str]:
         """``worker_id -> "up"`` or the reason the worker was marked down."""
@@ -247,6 +308,9 @@ class InferenceServer:
                     future.telemetry.completed_at = now
                     future.set_error(RequestError(f"serving failed: {exc}"))
                     self._record(future.telemetry)
+            finally:
+                with self._hosting_lock:
+                    self._inflight_hosts = set()
 
     def _serve_batch(self, batch: Batch) -> None:
         dispatched_at = time.perf_counter()
@@ -258,9 +322,17 @@ class InferenceServer:
             telemetry.batch_samples = batch.num_samples
         x = batch.concatenated()
 
+        # Snapshot the hosting map for this whole batch: a rolling swap
+        # landing mid-batch must not change which worker's features fill
+        # which slot after dispatch already happened.  _inflight_hosts
+        # tells swap_worker which workers still owe this batch a reply.
+        with self._hosting_lock:
+            hosting = dict(self._hosting)
+            self._inflight_hosts = set(hosting.values())
+
         # Scatter to every live hosting worker under one shared request id.
         request_id = self._cluster.next_request_id()
-        hosts = sorted(set(self._hosting.values()))
+        hosts = sorted(set(hosting.values()))
         pending: set[str] = set()
         for worker_id in hosts:
             # submit() detects dead processes / closed pipes itself and
@@ -330,10 +402,10 @@ class InferenceServer:
         # whose hosting worker did not answer, preserving the concatenation
         # layout the fusion MLP was trained on.
         missing = tuple(slot for slot in self._slots
-                        if self._hosting[slot] not in features)
+                        if hosting[slot] not in features)
         ordered = []
         for slot in self._slots:
-            host = self._hosting[slot]
+            host = hosting[slot]
             if host in features:
                 ordered.append(features[host])
             else:
@@ -388,7 +460,7 @@ class InferenceServer:
             return
         down = set(self._cluster.down_workers)
         affected = sorted(
-            host for host in set(self._hosting.values())
+            host for host in set(self.hosting().values())
             if (host in down or not self._cluster.is_alive(host))
             and host not in self._replan_attempted)
         if not affected:
@@ -400,6 +472,7 @@ class InferenceServer:
             updated = None
         if updated:
             # Only known slots may be re-hosted; anything else is dropped.
-            self._hosting.update({slot: worker
-                                  for slot, worker in updated.items()
-                                  if slot in self._hosting})
+            with self._hosting_lock:
+                self._hosting.update({slot: worker
+                                      for slot, worker in updated.items()
+                                      if slot in self._hosting})

@@ -11,17 +11,30 @@ dashboard would plot.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Iterable, Sequence
 
 import numpy as np
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile (``q`` in [0, 100]); nan when empty."""
+def percentile(values: Sequence[float], q: float) -> float | None:
+    """Linear-interpolated percentile (``q`` in [0, 100]); None when empty.
+
+    An empty window has no percentile — returning ``None`` (not NaN)
+    keeps aggregate reports JSON-serializable: ``json.dumps`` renders
+    ``None`` as ``null`` but emits the non-standard token ``NaN`` for
+    ``float("nan")``, which breaks downstream parsers of the CLI's
+    machine-readable output.
+    """
     if not len(values):
-        return math.nan
+        return None
     return float(np.percentile(values, q))
+
+
+def _round(value: float | None, digits: int, scale: float = 1.0):
+    """Scale+round for display/json rows; passes ``None`` through."""
+    if value is None:
+        return None
+    return round(value * scale, digits)
 
 
 @dataclasses.dataclass
@@ -64,14 +77,16 @@ class ServingReport:
     wall_seconds: float
     throughput_rps: float              # requests / second
     throughput_sps: float              # samples (images) / second
-    latency_p50_s: float
-    latency_p95_s: float
-    latency_p99_s: float
-    latency_mean_s: float
-    queue_mean_s: float
-    gather_mean_s: float
-    fusion_mean_s: float
-    mean_batch_requests: float
+    # Latency stats are None for an empty window (no completed requests):
+    # there is no meaningful percentile, and None stays valid JSON.
+    latency_p50_s: float | None
+    latency_p95_s: float | None
+    latency_p99_s: float | None
+    latency_mean_s: float | None
+    queue_mean_s: float | None
+    gather_mean_s: float | None
+    fusion_mean_s: float | None
+    mean_batch_requests: float | None
     degraded_requests: int
     worker_health: dict[str, str]      # worker_id -> "up" | reason it is down
     wire_bytes_out: int = 0            # total input bytes scattered
@@ -90,8 +105,8 @@ class ServingReport:
         samples = sum(r.num_samples for r in done)
         wall = max(wall_seconds, 1e-12)
 
-        def mean(values: list[float]) -> float:
-            return sum(values) / len(values) if values else math.nan
+        def mean(values: list[float]) -> float | None:
+            return sum(values) / len(values) if values else None
 
         wire_in = sum(r.bytes_in for r in done)
         return ServingReport(
@@ -115,6 +130,10 @@ class ServingReport:
             effective_bw_mbps=wire_in * 8 / 1e6 / wall,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable view (empty-window stats are ``null``)."""
+        return dataclasses.asdict(self)
+
     def row(self) -> dict:
         """One flat dict, ready for :func:`repro.core.metrics.format_table`."""
         down = sorted(w for w, s in self.worker_health.items() if s != "up")
@@ -123,12 +142,12 @@ class ServingReport:
             "failed": self.failed,
             "rps": round(self.throughput_rps, 2),
             "img/s": round(self.throughput_sps, 2),
-            "p50_ms": round(self.latency_p50_s * 1e3, 3),
-            "p95_ms": round(self.latency_p95_s * 1e3, 3),
-            "p99_ms": round(self.latency_p99_s * 1e3, 3),
-            "queue_ms": round(self.queue_mean_s * 1e3, 3),
-            "fusion_ms": round(self.fusion_mean_s * 1e3, 3),
-            "batch_reqs": round(self.mean_batch_requests, 2),
+            "p50_ms": _round(self.latency_p50_s, 3, 1e3),
+            "p95_ms": _round(self.latency_p95_s, 3, 1e3),
+            "p99_ms": _round(self.latency_p99_s, 3, 1e3),
+            "queue_ms": _round(self.queue_mean_s, 3, 1e3),
+            "fusion_ms": _round(self.fusion_mean_s, 3, 1e3),
+            "batch_reqs": _round(self.mean_batch_requests, 2),
             "wire_in_kb": round(self.wire_bytes_in / 1024, 1),
             "wire_out_kb": round(self.wire_bytes_out / 1024, 1),
             "bw_mbps": round(self.effective_bw_mbps, 3),

@@ -116,6 +116,17 @@ def plan_head_schedule(base: ViTConfig, class_groups: list[list[int]],
         sizes = [f.size_bytes for f in feet]
         candidates = [i for i in range(n) if hps[i] < h - 1]
         if not candidates:
+            # Two distinct terminal failures hide behind "infeasible":
+            # the fleet budget itself is unreachable, or the budget holds
+            # but greedy per-device assignment still finds no placement.
+            # Operators debug different constraints for each, so say which.
+            if total <= memory_budget_bytes:
+                raise ScheduleInfeasible(
+                    f"greedy assignment failed at maximum pruning: total "
+                    f"{total} B fits the fleet budget "
+                    f"{memory_budget_bytes} B, but no per-device placement "
+                    "satisfies the memory/energy constraints "
+                    f"({len(devices)} devices, {n} sub-models)")
             raise ScheduleInfeasible(
                 f"budget {memory_budget_bytes} B unreachable even at maximum "
                 f"pruning (total {total} B)")

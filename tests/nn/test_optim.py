@@ -115,3 +115,43 @@ class TestSchedulesAndClipping:
         p.grad = np.array([0.3], dtype=np.float32)
         clip_grad_norm([p], max_norm=1.0)
         assert p.grad[0] == pytest.approx(0.3)
+
+
+class TestSharedParameters:
+    """A parameter passed twice must be stepped exactly once per step()."""
+
+    def test_duplicates_are_dropped_preserving_order(self):
+        a, b = quadratic_param(1.0), quadratic_param(2.0)
+        opt = SGD([a, b, a, b, a], lr=0.1)
+        assert [id(p) for p in opt.params] == [id(a), id(b)]
+
+    def test_sgd_steps_shared_param_once(self):
+        shared, solo = quadratic_param(5.0), quadratic_param(5.0)
+        # Emulate concatenating sub-model and fusion param lists that
+        # share a module: the shared param appears twice.
+        opt_shared = SGD([shared, shared], lr=0.1)
+        opt_solo = SGD([solo], lr=0.1)
+        for opt, p in ((opt_shared, shared), (opt_solo, solo)):
+            loss = (p * p).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_array_equal(shared.data, solo.data)
+
+    def test_adam_moment_state_matches_dedup(self):
+        shared, solo = quadratic_param(5.0), quadratic_param(5.0)
+        opt_shared = Adam([shared, shared, shared], lr=1e-2)
+        opt_solo = Adam([solo], lr=1e-2)
+        assert len(opt_shared._m) == 1   # one moment buffer, not three
+        for _ in range(5):
+            for opt, p in ((opt_shared, shared), (opt_solo, solo)):
+                loss = (p * p).sum()
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        np.testing.assert_array_equal(shared.data, solo.data)
+
+    def test_equal_valued_distinct_params_both_kept(self):
+        a, b = quadratic_param(3.0), quadratic_param(3.0)
+        opt = SGD([a, b], lr=0.1)
+        assert len(opt.params) == 2      # identity, not value, dedup

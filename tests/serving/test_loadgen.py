@@ -1,7 +1,5 @@
 """Load-generator tests: open/closed loops, drops, and the batching win."""
 
-import math
-
 import pytest
 
 from repro.serving import (
@@ -35,8 +33,9 @@ class TestPercentile:
         assert percentile(values, 100) == 4.0
         assert percentile(values, 50) == 2.5
 
-    def test_empty_is_nan(self):
-        assert math.isnan(percentile([], 50))
+    def test_empty_is_none(self):
+        # None (JSON null), not NaN: NaN breaks machine-readable reports.
+        assert percentile([], 50) is None
 
 
 class TestClosedLoop:

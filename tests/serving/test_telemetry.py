@@ -1,0 +1,80 @@
+"""ServingReport aggregation tests, incl. the empty-window JSON bugfix."""
+
+import json
+import time
+
+import numpy as np
+
+from repro.serving import (
+    InferenceServer,
+    RequestTelemetry,
+    ServingReport,
+    build_demo_system,
+    percentile,
+)
+
+
+def record(request_id: int, total_s: float = 0.01,
+           error: str | None = None) -> RequestTelemetry:
+    start = 100.0
+    return RequestTelemetry(request_id=request_id, num_samples=1,
+                            enqueued_at=start, dispatched_at=start,
+                            completed_at=start + total_s, error=error)
+
+
+class TestEmptyWindow:
+    def test_empty_report_has_null_stats(self):
+        report = ServingReport.from_records([], wall_seconds=1.0)
+        assert report.completed == 0 and report.failed == 0
+        assert report.latency_p50_s is None
+        assert report.latency_p95_s is None
+        assert report.latency_p99_s is None
+        assert report.latency_mean_s is None
+        assert report.queue_mean_s is None
+        assert report.mean_batch_requests is None
+
+    def test_empty_report_serializes_to_valid_json(self):
+        report = ServingReport.from_records(
+            [], wall_seconds=1.0, worker_health={"w0": "up"})
+        # allow_nan=False is the strict-JSON mode that used to explode
+        # (json.dumps emits the non-standard token NaN otherwise).
+        text = json.dumps(report.to_dict(), allow_nan=False)
+        parsed = json.loads(text)
+        assert parsed["latency_p50_s"] is None
+        assert parsed["completed"] == 0
+
+    def test_all_failed_report_is_json_safe(self):
+        records = [record(i, error="boom") for i in range(3)]
+        report = ServingReport.from_records(records, wall_seconds=1.0)
+        assert report.failed == 3 and report.completed == 0
+        assert report.latency_p99_s is None
+        json.dumps(report.to_dict(), allow_nan=False)
+
+    def test_empty_row_renders(self):
+        row = ServingReport.from_records([], wall_seconds=1.0).row()
+        assert row["p50_ms"] is None and row["completed"] == 0
+
+    def test_percentile_none_for_empty(self):
+        assert percentile([], 50) is None
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+
+class TestZeroCompletedServer:
+    def test_server_with_no_requests_reports_cleanly(self):
+        system = build_demo_system(num_workers=1, transport="inprocess")
+        server = InferenceServer(system.make_cluster(), system.fusion)
+        with server:
+            time.sleep(0.01)           # serve nothing
+        report = server.stats()
+        assert report.completed == 0
+        json.dumps(report.to_dict(), allow_nan=False)
+
+
+class TestPopulatedWindow:
+    def test_stats_are_floats_when_requests_completed(self):
+        records = [record(i, total_s=0.01 * (i + 1)) for i in range(10)]
+        report = ServingReport.from_records(records, wall_seconds=1.0)
+        assert report.completed == 10
+        assert isinstance(report.latency_p50_s, float)
+        assert np.isclose(report.latency_p50_s, 0.055)
+        json.dumps(report.to_dict(), allow_nan=False)

@@ -137,3 +137,30 @@ class TestScheduleLoop:
                                       num_samples=1)
         sizes_mb = [f.size_bytes / MB for f in schedule.footprints]
         assert max(sizes_mb) < 25
+
+
+class TestInfeasibleMessages:
+    """The two terminal failures must be distinguishable (bugfix)."""
+
+    def test_budget_unreachable_names_the_budget(self):
+        with pytest.raises(ScheduleInfeasible, match="budget .* unreachable"):
+            plan_head_schedule(vit_base_config(num_classes=10),
+                               balanced_class_partition(10, 10),
+                               pi_fleet(10),
+                               memory_budget_bytes=1 * MB, num_samples=1)
+
+    def test_assignment_failure_names_the_placement(self):
+        # Fleet budget is huge (the total trivially fits) but each
+        # device has almost no energy, so greedy assignment can never
+        # place anything: the message must blame placement, not budget.
+        devices = [DeviceSpec(device_id=f"pi-{i}",
+                              memory_bytes=4 * 2 ** 30,
+                              energy_flops=1.0)
+                   for i in range(3)]
+        with pytest.raises(ScheduleInfeasible,
+                           match="assignment failed at maximum pruning"):
+            plan_head_schedule(vit_base_config(num_classes=10),
+                               balanced_class_partition(10, 3),
+                               devices,
+                               memory_budget_bytes=100_000 * MB,
+                               num_samples=1)

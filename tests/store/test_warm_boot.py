@@ -1,0 +1,145 @@
+"""Warm boot end to end: plan → store → checkpoint-load, no retraining."""
+
+import numpy as np
+import pytest
+
+from repro.planning import (
+    FUSION_ARTIFACT,
+    DeploymentPlan,
+    PlannedSystem,
+    plan_artifact_digests,
+    plan_demo_system,
+)
+from repro.serving import build_demo_system
+from repro.store import ArtifactCorrupt, ArtifactStore
+
+
+@pytest.fixture(scope="module")
+def populated(tmp_path_factory):
+    """One trained plan + the store its cold boot populated."""
+    store = ArtifactStore(tmp_path_factory.mktemp("artifacts"))
+    system = plan_demo_system(num_workers=2, seed=0, train_fusion=True,
+                              fusion_epochs=2, store=store)
+    return system, store
+
+
+def eval_xy(system):
+    dataset = system.eval_dataset()
+    return dataset.x_test.astype(np.float32), np.asarray(dataset.y_test)
+
+
+class TestPlanArtifacts:
+    def test_cold_boot_populates_store(self, populated):
+        system, store = populated
+        assert not system.warm_booted
+        assert len(store) == len(system.plan.submodels) + 1
+        for digest in system.plan.artifacts.values():
+            assert store.has(digest)
+
+    def test_refs_cover_every_submodel_and_fusion(self, populated):
+        system, _ = populated
+        expected = set(system.plan.model_ids) | {FUSION_ARTIFACT}
+        assert set(system.plan.artifacts) == expected
+
+    def test_refs_survive_json_roundtrip(self, populated):
+        system, _ = populated
+        rebuilt = DeploymentPlan.from_json(system.plan.to_json())
+        assert rebuilt.artifacts == system.plan.artifacts
+
+    def test_recipes_match_recorded_refs(self, populated):
+        system, _ = populated
+        assert plan_artifact_digests(system.plan) == system.plan.artifacts
+
+    def test_codec_and_scoring_do_not_change_digests(self, populated):
+        system, _ = populated
+        plan = DeploymentPlan.from_json(system.plan.to_json())
+        plan.codec = "q8"
+        plan.build["scoring"] = {"des_samples": 99}
+        assert plan_artifact_digests(plan) == system.plan.artifacts
+
+
+class TestWarmBoot:
+    def test_from_plan_warm_boots_without_training(self, populated,
+                                                   monkeypatch):
+        system, store = populated
+        # Any attempt to train during a warm boot is the regression the
+        # store exists to prevent — make it explode.
+        monkeypatch.setattr("repro.planning.execute.train_demo_system",
+                            lambda *a, **k: pytest.fail(
+                                "warm boot must not retrain"))
+        plan = DeploymentPlan.from_json(system.plan.to_json())
+        warm = PlannedSystem.from_plan(plan, store=store)
+        assert warm.warm_booted
+
+    def test_warm_accuracy_matches_cold_exactly(self, populated):
+        system, store = populated
+        plan = DeploymentPlan.from_json(system.plan.to_json())
+        warm = PlannedSystem.from_plan(plan, store=store)
+        x, y = eval_xy(system)
+        assert warm.local_accuracy(x, y) == system.local_accuracy(x, y)
+        np.testing.assert_array_equal(warm.local_fused_labels(x),
+                                      system.local_fused_labels(x))
+
+    def test_missing_artifact_falls_back_to_cold(self, populated, tmp_path):
+        system, store = populated
+        plan = DeploymentPlan.from_json(system.plan.to_json())
+        empty = ArtifactStore(tmp_path / "empty")
+        rebuilt = PlannedSystem.from_plan(plan, store=empty)
+        assert not rebuilt.warm_booted
+        # ... and the fallback populated the new store for next time.
+        assert len(empty) == len(plan.submodels) + 1
+        x, y = eval_xy(system)
+        assert rebuilt.local_accuracy(x, y) == system.local_accuracy(x, y)
+
+    def test_corrupt_artifact_raises_not_retrains(self, populated, tmp_path):
+        system, store = populated
+        plan = DeploymentPlan.from_json(system.plan.to_json())
+        bad = ArtifactStore(tmp_path / "bad")
+        PlannedSystem.from_plan(DeploymentPlan.from_json(system.plan.to_json()),
+                                store=bad)
+        victim = bad.object_path(plan.artifacts[plan.model_ids[0]])
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactCorrupt):
+            PlannedSystem.from_plan(plan, store=bad)
+
+    def test_plan_demo_system_warm_boots(self, populated):
+        system, store = populated
+        again = plan_demo_system(num_workers=2, seed=0, train_fusion=True,
+                                 fusion_epochs=2, store=store)
+        assert again.warm_booted
+        x, y = eval_xy(system)
+        assert again.local_accuracy(x, y) == system.local_accuracy(x, y)
+
+    def test_different_seed_misses_store(self, populated):
+        _, store = populated
+        other = plan_demo_system(num_workers=2, seed=7, train_fusion=True,
+                                 fusion_epochs=2, store=store)
+        assert not other.warm_booted
+
+
+class TestDemoSystemStore:
+    def test_demo_cold_then_warm(self, tmp_path):
+        store = ArtifactStore(tmp_path / "demo")
+        cold = build_demo_system(num_workers=2, train_fusion=True,
+                                 fusion_epochs=2, store=store)
+        assert not cold.warm_booted and len(store) == 3
+        warm = build_demo_system(num_workers=2, train_fusion=True,
+                                 fusion_epochs=2, store=store)
+        assert warm.warm_booted
+        x = np.random.default_rng(0).normal(
+            size=(4, *cold.input_shape)).astype(np.float32)
+        np.testing.assert_array_equal(warm.local_fused_labels(x),
+                                      cold.local_fused_labels(x))
+        # The worker specs ship the warm-loaded weights too.
+        for spec_w, spec_c in zip(warm.specs, cold.specs):
+            assert spec_w.state_blob == spec_c.state_blob
+
+    def test_demo_settings_change_digests(self, tmp_path):
+        store = ArtifactStore(tmp_path / "demo")
+        build_demo_system(num_workers=2, train_fusion=True,
+                          fusion_epochs=2, store=store)
+        other = build_demo_system(num_workers=2, train_fusion=True,
+                                  fusion_epochs=3, store=store)
+        assert not other.warm_booted   # more epochs = different weights

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.serving",
     "repro.planning",
+    "repro.store",
 ]
 
 MODULES = SUBPACKAGES + [
@@ -47,6 +48,7 @@ MODULES = SUBPACKAGES + [
     "repro.serving.telemetry", "repro.serving.demo",
     "repro.planning.plan", "repro.planning.planner", "repro.planning.replan",
     "repro.planning.execute",
+    "repro.store.store",
     "repro.cli",
 ]
 
