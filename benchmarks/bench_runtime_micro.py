@@ -17,6 +17,7 @@ numerically from the autograd path.
 """
 
 import numpy as np
+import pytest
 
 from repro import nn
 from repro.edge.device import DeviceModel
@@ -24,6 +25,7 @@ from repro.edge.network import LinkModel
 from repro.edge.runtime import EdgeCluster, WorkerSpec
 from repro.edge.simulator import DeploymentSpec, SubModelProfile, simulate_inference
 from repro.models.vit import ViTConfig, VisionTransformer, vit_base_config
+from repro.nn.backend import available_backends, use_backend
 from repro.pruning.surgery import prune_residual_channels
 
 
@@ -33,29 +35,32 @@ def small_vit():
     return VisionTransformer(cfg, rng=np.random.default_rng(0))
 
 
-def test_vit_forward_throughput(benchmark):
+@pytest.mark.parametrize("backend", available_backends())
+def test_vit_forward_throughput(benchmark, backend):
     model = small_vit()
     model.eval()
     x = nn.Tensor(np.random.default_rng(0).normal(
         size=(8, 3, 16, 16)).astype(np.float32))
 
     def forward():
-        with nn.no_grad():
+        with use_backend(backend), nn.no_grad():
             return model(x)
 
     out = benchmark(forward)
     assert out.shape == (8, 10)
 
 
-def test_vit_inference_mode_throughput(benchmark):
-    """The workspace-cached fast path (the serving configuration)."""
+@pytest.mark.parametrize("backend", available_backends())
+def test_vit_inference_mode_throughput(benchmark, backend):
+    """The workspace-cached fast path (the serving configuration), timed
+    once per registered compute backend."""
     model = small_vit()
     model.eval()
     x = nn.Tensor(np.random.default_rng(0).normal(
         size=(8, 3, 16, 16)).astype(np.float32))
 
     def forward():
-        with nn.inference_mode():
+        with use_backend(backend), nn.inference_mode():
             return model(x)
 
     out = benchmark(forward)
@@ -149,7 +154,8 @@ def _seed_gelu(x, workspace=None):
     return Tensor._make(out_data, (x,), backward)
 
 
-def run_smoke(repeats: int = 5, min_speedup: float = 2.0) -> int:
+def run_smoke(repeats: int = 5, min_speedup: float = 2.0,
+              backend: str = "numpy") -> int:
     """Print seed-vs-current ViT-Base forward latency; 0 iff healthy.
 
     The baseline is the seed's graph-building forward (its op set replayed
@@ -158,7 +164,13 @@ def run_smoke(repeats: int = 5, min_speedup: float = 2.0) -> int:
     Each mode is timed as the **minimum over ``repeats`` single-shot
     passes** — the standard noise-robust microbenchmark estimator, so one
     slow repeat on a shared CI runner cannot flip the verdict.
+
+    ``backend`` installs a registered compute backend for the whole
+    comparison, so CI can assert the fast-path bar holds under every
+    backend a fleet might select — not just the numpy reference.
     """
+    nn.set_backend(backend)
+    print(f"compute backend: {backend}")
     from unittest import mock
 
     from repro.core.inference import benchmark_forward
@@ -210,7 +222,11 @@ if __name__ == "__main__":
                         help="run the CI perf-smoke comparison and exit")
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--backend", default="numpy",
+                        choices=available_backends(),
+                        help="compute backend to run the smoke under")
     args = parser.parse_args()
     if not args.smoke:
         parser.error("run with --smoke (or via pytest for the full benches)")
-    sys.exit(run_smoke(repeats=args.repeats, min_speedup=args.min_speedup))
+    sys.exit(run_smoke(repeats=args.repeats, min_speedup=args.min_speedup,
+                       backend=args.backend))

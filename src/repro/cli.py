@@ -13,6 +13,9 @@ Usage::
     python -m repro.cli serve --transport inprocess --codec q8
     python -m repro.cli serve --plan plan.json --kill-after 0.3
     python -m repro.cli serve --plan plan.json --store ./artifacts --swap-after 0.3
+    python -m repro.cli serve --backend blocked --workers 2
+    python -m repro.cli plan --quant auto --memory-headroom 0.5 --store ./artifacts
+    python -m repro.cli quantize --plan plan.json --store ./artifacts --out plan-int8.json
     python -m repro.cli loadgen --rates 50,100,200 --compare-batching
     python -m repro.cli artifacts ls --store ./artifacts
     python -m repro.cli artifacts gc --store ./artifacts --max-mb 64
@@ -104,7 +107,9 @@ def cmd_plan(args) -> None:
                               train_fusion=args.train_fusion,
                               fusion_epochs=args.fusion_epochs,
                               codec=args.codec,
-                              store=_artifact_store(args))
+                              store=_artifact_store(args),
+                              quant=args.quant,
+                              memory_headroom=args.memory_headroom)
     plan = system.plan
     if args.store:
         boot = "warm-booted from" if system.warm_booted else "populated"
@@ -116,6 +121,7 @@ def cmd_plan(args) -> None:
             "sub-model": m.model_id,
             "classes": ",".join(str(c) for c in m.classes),
             "device": plan.mapping[m.model_id],
+            "quant": m.quant,
             "size_kb": round(m.size_bytes / 1024, 1),
             "mflops": round(m.flops_per_sample / 1e6, 3),
         } for m in plan.submodels]
@@ -154,10 +160,29 @@ def cmd_schedule(args) -> None:
           f"{point.num_devices} devices (budget {budget} MB)")
 
 
+def _apply_backend(args) -> None:
+    """Activate ``--backend`` in-process and for spawned workers."""
+    backend = getattr(args, "backend", None)
+    if not backend:
+        return
+    import os
+
+    from . import nn
+
+    try:
+        nn.set_backend(backend)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    # Worker processes re-import repro.nn fresh; the env var is how the
+    # selection crosses the process boundary.
+    os.environ["REPRO_BACKEND"] = backend
+
+
 def _make_server(args):
     from .serving import (BatchingConfig, InferenceServer, ServerConfig,
                           build_demo_system)
 
+    _apply_backend(args)
     config = ServerConfig(
         batching=BatchingConfig(max_batch_samples=args.batch,
                                 max_wait_s=args.max_wait_ms / 1e3),
@@ -217,7 +242,8 @@ def cmd_serve(args) -> None:
             def do_swap() -> None:
                 try:
                     swap_result["worker"] = system.swap_from_store(
-                        server, slot, _artifact_store(args))
+                        server, slot, _artifact_store(args),
+                        quant=args.swap_quant)
                 except Exception as exc:
                     swap_result["error"] = f"{type(exc).__name__}: {exc}"
             swap_timer = threading.Timer(args.swap_after, do_swap)
@@ -257,6 +283,40 @@ def cmd_serve(args) -> None:
         print(f"  rolling swap: {swap_result}")
 
 
+def cmd_quantize(args) -> None:
+    import dataclasses as _dc
+
+    from .planning import DeploymentPlan, quantize_plan_artifacts
+    from .store import ArtifactStore
+
+    plan = DeploymentPlan.load(args.plan)
+    store = ArtifactStore(args.store)
+    rows = quantize_plan_artifacts(plan, store, scheme=args.scheme)
+    print(format_table([{
+        "sub-model": row["model_id"],
+        "fp32_kb": round(row["fp32_bytes"] / 1024, 1),
+        f"{args.scheme}_kb": round(row["quant_bytes"] / 1024, 1),
+        "ratio": round(row["fp32_bytes"] / max(1, row["quant_bytes"]), 2),
+        "digest": row["quant_digest"][:12],
+    } for row in rows]))
+    total_fp32 = sum(row["fp32_bytes"] for row in rows)
+    total_q = sum(row["quant_bytes"] for row in rows)
+    print(f"total: {total_fp32 / 1024:.1f} KiB fp32 -> "
+          f"{total_q / 1024:.1f} KiB {args.scheme} "
+          f"({total_fp32 / max(1, total_q):.2f}x smaller)")
+    if args.out:
+        # Retarget the plan to serve the quantized variants; the fusion
+        # ref is scheme-independent and stays put.
+        sizes = {row["model_id"]: row["quant_bytes"] for row in rows}
+        digests = {row["model_id"]: row["quant_digest"] for row in rows}
+        plan.submodels = [_dc.replace(sub, quant=args.scheme,
+                                      size_bytes=sizes[sub.model_id])
+                          for sub in plan.submodels]
+        plan.artifacts.update(digests)
+        path = plan.save(args.out)
+        print(f"{args.scheme} plan written to {path}")
+
+
 def cmd_artifacts(args) -> None:
     import time as _time
 
@@ -271,6 +331,7 @@ def cmd_artifacts(args) -> None:
         rows = [{"digest": info.digest[:12],
                  "kind": info.kind,
                  "model": info.meta.get("model_id", "-"),
+                 "quant": info.meta.get("quant", "fp32"),
                  "size_kb": round(info.nbytes / 1024, 1),
                  "created": when(info.created_at),
                  "last_used": when(info.last_used_at)}
@@ -341,6 +402,10 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
                         help="artifact-store directory: warm-boot weights "
                              "from it when populated, populate it on a "
                              "cold boot")
+    parser.add_argument("--backend", default=None,
+                        help="nn array backend for this process and all "
+                             "spawned workers (numpy, blocked); default: "
+                             "REPRO_BACKEND or numpy")
     parser.add_argument("--train-fusion", action="store_true",
                         help="train the demo fleet (the expensive step an "
                              "artifact store amortizes). Ignored with "
@@ -399,9 +464,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="artifact-store directory: warm-boot the "
                              "planned weights when populated, populate it "
                              "cold; refs are recorded in the plan JSON")
+    p_plan.add_argument("--quant", choices=("fp32", "int8", "auto"),
+                        default="fp32",
+                        help="served weight scheme: int8 = per-channel "
+                             "post-training quantization (~3-4x smaller "
+                             "artifacts); auto falls back to int8 only "
+                             "when fp32 overflows the memory budget")
+    p_plan.add_argument("--memory-headroom", type=float, default=3.0,
+                        help="per-device memory budget in units of the "
+                             "largest fp32 sub-model (below ~1.0, "
+                             "--quant auto selects int8)")
     p_plan.add_argument("--out", default=None,
                         help="write the plan JSON here (default: stdout)")
     p_plan.set_defaults(func=cmd_plan)
+
+    p_quant = sub.add_parser(
+        "quantize", help="derive quantized store artifacts from a plan's "
+                         "fp32 artifacts")
+    p_quant.add_argument("--plan", required=True,
+                         help="DeploymentPlan JSON file")
+    p_quant.add_argument("--store", required=True,
+                         help="artifact-store directory holding the fp32 "
+                              "artifacts; quantized variants are written "
+                              "back under their own digests")
+    p_quant.add_argument("--scheme", choices=("int8",), default="int8")
+    p_quant.add_argument("--out", default=None,
+                         help="write a copy of the plan retargeted to the "
+                              "quantized artifacts here")
+    p_quant.set_defaults(func=cmd_quantize)
 
     sub.add_parser("communication",
                    help="Section V-D feature/transfer sizes").set_defaults(
@@ -437,6 +527,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "from its store artifact after this many "
                               "seconds (needs --plan and --store); zero "
                               "requests are dropped")
+    p_serve.add_argument("--swap-quant", choices=("fp32", "int8"),
+                         default=None,
+                         help="with --swap-after: retarget the swapped "
+                              "slot to this weight scheme (live fp32 -> "
+                              "int8 rollout); a missing quantized "
+                              "artifact is derived on demand")
     p_serve.add_argument("--json", action="store_true",
                          help="emit the run report as JSON (machine-"
                               "readable; empty-window stats are null)")

@@ -130,6 +130,7 @@ class WorkerSpec:
     batch_size: int = 64               # forward chunk size inside the worker
     feature_dim: int | None = None     # width of forward_features output
     codec: str = "raw32"               # repro.edge.codec name for features
+    quant: str = "fp32"                # weight scheme of state_blob
 
     @staticmethod
     def from_model(worker_id: str, model: nn.Module, kind: str,
@@ -137,7 +138,12 @@ class WorkerSpec:
                    link: LinkModel | None = None,
                    batch_size: int = 64,
                    codec: str = "raw32") -> "WorkerSpec":
-        """Generic constructor for any registered model kind."""
+        """Generic constructor for any registered model kind.
+
+        A quantized module is detected here (its state blob carries
+        int8 weight buffers), so the worker knows to apply the same
+        module surgery before loading.
+        """
         if kind not in MODEL_KINDS:
             raise KeyError(f"unknown model kind {kind!r}; registered kinds: "
                            f"{sorted(MODEL_KINDS)}")
@@ -153,6 +159,7 @@ class WorkerSpec:
             batch_size=batch_size,
             feature_dim=int(model.feature_dim()),
             codec=codec,
+            quant="int8" if nn.is_quantized(model) else "fp32",
         )
 
     @staticmethod
@@ -191,6 +198,7 @@ class WorkerSpec:
             batch_size=batch_size,
             feature_dim=int(sub.feature_dim),
             codec=getattr(plan, "codec", "raw32"),
+            quant=str(getattr(sub, "quant", "fp32")),
         )
 
 
@@ -205,6 +213,9 @@ def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
         # built-ins).  Report that as a typed startup failure instead of
         # dying and leaving the parent a bare EOFError.
         model = _build_model(spec.model_kind, spec.model_config)
+        quant = getattr(spec, "quant", "fp32")  # pre-quant specs lack it
+        if quant != "fp32":
+            model = nn.quantize_module(model, scheme=quant)
         model.load_state_dict(nn.state_dict_from_bytes(spec.state_blob))
         model.eval()
         codec = get_codec(spec.codec)

@@ -137,8 +137,8 @@ class MultiHeadSelfAttention(nn.Module):
         ws = self.workspace if is_inference() else None
         b, p, _ = x.shape
         h, dh = self.num_heads, self.head_dim
-        qkv = bk.linear(
-            x, self.qkv.weight.data, self.qkv.bias.data,
+        qkv = self.qkv.infer(
+            bk, x,
             out=None if ws is None else ws.buffer(
                 "qkv", (b, p, 3 * self.attn_dim), x.dtype))
         qkv = qkv.reshape(b, p, 3, h, dh).transpose(2, 0, 3, 1, 4)
@@ -151,8 +151,8 @@ class MultiHeadSelfAttention(nn.Module):
         bk.softmax(scores, axis=-1, out=scores)
         ctx = bk.matmul(scores, v)                     # (B, H, P, dh)
         ctx = bk.ascontiguous(ctx.transpose(0, 2, 1, 3)).reshape(b, p, h * dh)
-        return bk.linear(
-            ctx, self.proj.weight.data, self.proj.bias.data,
+        return self.proj.infer(
+            bk, ctx,
             out=None if ws is None else ws.buffer("proj", (b, p, self.embed_dim),
                                                   x.dtype))
 
@@ -177,7 +177,24 @@ class FeedForward(nn.Module):
         self.fc2 = nn.Linear(hidden_dim, embed_dim, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor._noback(self._fused_forward(x.data))
         return self.fc2(ops.gelu(self.fc1(x), self.workspace))
+
+    def _fused_forward(self, x):
+        """Graph-free FFN on raw arrays with the GELU fused as a GEMM
+        epilogue (``Linear.infer``/``QuantizedLinear.infer``)."""
+        bk = get_backend()
+        ws = self.workspace if is_inference() else None
+        h = self.fc1.infer(
+            bk, x, activation="gelu",
+            out=None if ws is None else ws.buffer(
+                "ffn_hidden", x.shape[:-1] + (self.fc1.out_features,),
+                x.dtype))
+        return self.fc2.infer(
+            bk, h,
+            out=None if ws is None else ws.buffer(
+                "ffn_out", x.shape[:-1] + (self.fc2.out_features,), x.dtype))
 
 
 class Block(nn.Module):

@@ -39,6 +39,7 @@ from .backend import (
     set_backend,
     use_backend,
 )
+from .blocked import BlockedBackend
 from .losses import accuracy, cross_entropy, kl_divergence, mse
 from .modules import (
     AvgPool2d,
@@ -59,6 +60,15 @@ from .modules import (
     Tanh,
 )
 from .optim import Adam, DecayingLR, Optimizer, SGD, clip_grad_norm
+from .quantize import (
+    QuantizedConv2d,
+    QuantizedLinear,
+    dequantize_array,
+    is_quantized,
+    quantize_array,
+    quantize_module,
+    quantize_state_dict,
+)
 from .serialization import (
     checkpoint_path,
     load_checkpoint,
@@ -86,6 +96,7 @@ __all__ = [
     "ArrayBackend",
     "AvgPool2d",
     "BatchNorm2d",
+    "BlockedBackend",
     "Conv2d",
     "DecayingLR",
     "Dropout",
@@ -100,6 +111,8 @@ __all__ = [
     "NumpyBackend",
     "Optimizer",
     "Parameter",
+    "QuantizedConv2d",
+    "QuantizedLinear",
     "ReLU",
     "SGD",
     "Sequential",
@@ -113,17 +126,22 @@ __all__ = [
     "clip_grad_norm",
     "concat",
     "cross_entropy",
+    "dequantize_array",
     "get_backend",
     "inference_mode",
     "init",
     "is_grad_enabled",
     "is_inference",
+    "is_quantized",
     "kl_divergence",
     "load_checkpoint",
     "mse",
     "no_grad",
     "ones",
     "ops",
+    "quantize_array",
+    "quantize_module",
+    "quantize_state_dict",
     "register_backend",
     "save_checkpoint",
     "set_backend",

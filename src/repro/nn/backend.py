@@ -43,6 +43,7 @@ import contextlib
 import math
 import os
 import threading
+import warnings
 from typing import Callable
 
 import numpy as np
@@ -60,17 +61,28 @@ class Workspace:
     and :meth:`buffer` returns a contiguous view of the requested shape.
     Memory per tag is therefore bounded by the largest request seen, no
     matter how many distinct (e.g. ragged-final-batch) shapes pass through.
+
+    Per-thread stores are kept in one id-keyed dict (not a
+    ``threading.local``) so :meth:`nbytes` / :meth:`per_thread` can report
+    the *whole* scratch footprint of a long-lived server, not just the
+    calling thread's slice.
     """
 
-    __slots__ = ("_local",)
+    __slots__ = ("_stores", "_lock")
 
     def __init__(self):
-        self._local = threading.local()
+        # thread ident -> {(tag, dtype): flat array}.  Single dict-key
+        # reads/writes are GIL-atomic, so the hot buffer() path needs no
+        # lock; the lock only serializes snapshots and first-touch setup.
+        self._stores: dict[int, dict[tuple, np.ndarray]] = {}
+        self._lock = threading.Lock()
 
     def _storage(self) -> dict[tuple, np.ndarray]:
-        store = getattr(self._local, "store", None)
+        ident = threading.get_ident()
+        store = self._stores.get(ident)
         if store is None:
-            store = self._local.store = {}
+            with self._lock:
+                store = self._stores.setdefault(ident, {})
         return store
 
     def buffer(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
@@ -93,10 +105,27 @@ class Workspace:
 
     def clear(self) -> None:
         """Release this thread's scratch storage."""
-        self._storage().clear()
+        with self._lock:
+            self._stores.pop(threading.get_ident(), None)
+
+    def clear_all(self) -> None:
+        """Release every thread's scratch storage."""
+        with self._lock:
+            self._stores.clear()
 
     def nbytes(self) -> int:
-        return sum(b.nbytes for b in self._storage().values())
+        """Total scratch bytes held across *all* threads that ever used
+        this workspace (dead threads' stores stay counted until cleared —
+        they still hold the memory)."""
+        with self._lock:
+            return sum(b.nbytes for store in self._stores.values()
+                       for b in store.values())
+
+    def per_thread(self) -> dict[int, int]:
+        """Scratch bytes per thread ident — the telemetry breakdown."""
+        with self._lock:
+            return {ident: sum(b.nbytes for b in store.values())
+                    for ident, store in self._stores.items()}
 
     def __len__(self) -> int:
         return len(self._storage())
@@ -171,6 +200,72 @@ class ArrayBackend:
         if bias is not None:
             y += bias
         return y.reshape(lead + (weight.shape[0],))
+
+    # Activations linear_act/linear_q8 may fuse as a post-GEMM epilogue.
+    ACTIVATIONS = ("gelu", "relu", "sigmoid", "tanh")
+
+    def apply_activation(self, name: str, buf, tmp=None) -> np.ndarray:
+        """Apply a named activation to ``buf`` **in place**.
+
+        ``tmp`` is optional same-shape scratch; only ``gelu`` needs it
+        (its tanh argument must be built while ``buf`` still holds x).
+        """
+        if name == "relu":
+            return np.maximum(buf, 0.0, out=buf)
+        if name == "sigmoid":
+            return self.sigmoid(buf, out=buf)
+        if name == "tanh":
+            return np.tanh(buf, out=buf)
+        if name == "gelu":
+            if tmp is None:
+                tmp = np.empty_like(buf)
+            np.multiply(buf, buf, out=tmp)
+            tmp *= buf                 # x*x*x (generic float pow is ~70x slower)
+            tmp *= 0.044715
+            tmp += buf
+            tmp *= _SQRT_2_OVER_PI
+            np.tanh(tmp, out=tmp)
+            tmp += 1.0
+            buf *= tmp
+            buf *= 0.5
+            return buf
+        raise ValueError(f"unknown activation {name!r}; "
+                         f"supported: {list(self.ACTIVATIONS)}")
+
+    def linear_act(self, x, weight, bias=None, activation=None,
+                   out=None) -> np.ndarray:
+        """:meth:`linear` with an optional fused activation epilogue.
+
+        The reference implementation just chains the two; tuned backends
+        override it to apply the epilogue on cache-hot output blocks.
+        """
+        y = self.linear(x, weight, bias, out=out)
+        if activation is not None:
+            self.apply_activation(activation, y)
+        return y
+
+    def linear_q8(self, x, weight_q8, scale, bias=None, activation=None,
+                  out=None) -> np.ndarray:
+        """int8-weight affine map with fp32 accumulation.
+
+        ``weight_q8`` is ``(out_features, in_features)`` int8 and ``scale``
+        the per-output-channel dequantization scale (see
+        :mod:`repro.nn.quantize`).  Because the scale is per *output*
+        channel it folds into the GEMM result's columns
+        (``(x @ q.T) * scale == x @ (q * scale[:, None]).T``), so the
+        weight itself only needs a dtype widen, never a scaled copy.
+        """
+        lead = x.shape[:-1]
+        n_out = weight_q8.shape[0]
+        x2 = np.ascontiguousarray(x.reshape(-1, x.shape[-1]))
+        out2 = out.reshape(-1, n_out) if out is not None else None
+        y = np.matmul(x2, weight_q8.astype(np.float32).T, out=out2)
+        y *= scale
+        if bias is not None:
+            y += bias
+        if activation is not None:
+            self.apply_activation(activation, y)
+        return y.reshape(lead + (n_out,))
 
     # -- elementwise -------------------------------------------------------
     def exp(self, x, out=None) -> np.ndarray:
@@ -366,7 +461,16 @@ class NumpyBackend(ArrayBackend):
 # ----------------------------------------------------------------------
 # Registry and selection
 # ----------------------------------------------------------------------
-_REGISTRY: dict[str, Callable[[], ArrayBackend]] = {"numpy": NumpyBackend}
+def _blocked_factory() -> ArrayBackend:
+    from .blocked import BlockedBackend   # deferred: blocked imports this module
+
+    return BlockedBackend()
+
+
+_REGISTRY: dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "blocked": _blocked_factory,
+}
 _state = threading.local()
 
 
@@ -381,16 +485,44 @@ def available_backends() -> list[str]:
     return sorted(_REGISTRY)
 
 
+# Default-constructed singleton per registered name.  Backends carry warm
+# state (packed-weight caches, scratch arenas, thread pools), so resolving
+# a *name* must return the same instance every time — a fresh instance per
+# ``use_backend("blocked")`` entry would silently repack every weight on
+# every scoped switch.  Explicitly constructed instances bypass this.
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
 def _resolve(backend: str | ArrayBackend) -> ArrayBackend:
     if isinstance(backend, ArrayBackend):
         return backend
     if backend not in _REGISTRY:
-        raise KeyError(
-            f"unknown backend {backend!r}; registered: {available_backends()}")
-    return _REGISTRY[backend]()
+        raise ValueError(
+            f"unknown backend {backend!r}; registered backends: "
+            f"{available_backends()}")
+    instance = _INSTANCES.get(backend)
+    if instance is None:
+        instance = _INSTANCES[backend] = _REGISTRY[backend]()
+    return instance
 
 
-_default_backend: ArrayBackend = _resolve(os.environ.get("REPRO_BACKEND", "numpy"))
+def _initial_backend() -> ArrayBackend:
+    """Resolve ``REPRO_BACKEND`` at import time, surviving bad values.
+
+    A typo in the environment must degrade to the numpy reference with a
+    warning — raising here would make ``import repro`` itself crash.
+    """
+    name = os.environ.get("REPRO_BACKEND", "numpy")
+    try:
+        return _resolve(name)
+    except ValueError as exc:
+        warnings.warn(f"ignoring REPRO_BACKEND: {exc}; "
+                      f"falling back to 'numpy'", RuntimeWarning,
+                      stacklevel=2)
+        return NumpyBackend()
+
+
+_default_backend: ArrayBackend = _initial_backend()
 
 
 def set_backend(backend: str | ArrayBackend) -> ArrayBackend:

@@ -139,9 +139,23 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: checkpoint {value.shape} vs model {param.shape}")
             param.data = value.copy()
+        owners = {}
+        for prefix, module in self.named_modules():
+            for local in module._buffers:
+                full = f"{prefix}.{local}" if prefix else local
+                owners[full] = (module, local)
         for name, buf in buffers.items():
-            if name in state:
-                np.copyto(buf, np.asarray(state[name], dtype=buf.dtype))
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=buf.dtype)
+            if value.shape != buf.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: checkpoint {value.shape} vs model {buf.shape}")
+            # Rebind rather than copy into the existing array: backends may
+            # cache derived layouts (e.g. packed transposes) keyed by array
+            # identity, and an in-place overwrite would serve stale weights.
+            module, local = owners[name]
+            module.register_buffer(local, value.copy())
         if strict:
             if missing:
                 raise KeyError(f"missing keys in state dict: {missing}")
@@ -184,6 +198,17 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return ops.linear(x, self.weight, self.bias, self.workspace)
+
+    def infer(self, backend, x: np.ndarray, out=None,
+              activation: str | None = None) -> np.ndarray:
+        """Raw-array fast path with an optional fused activation epilogue.
+
+        Polymorphic with ``QuantizedLinear.infer`` so fused model forwards
+        (e.g. ViT attention) work unchanged on int8-surgered modules.
+        """
+        return backend.linear_act(x, self.weight.data,
+                                  self.bias.data if self.bias is not None else None,
+                                  activation=activation, out=out)
 
     def __repr__(self):
         return f"Linear(in={self.in_features}, out={self.out_features})"

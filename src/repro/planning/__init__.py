@@ -12,7 +12,12 @@ onto surviving devices' residual capacity at runtime so fusion recovers
 real features instead of zero-filling forever.
 """
 
-from .execute import PlannedSystem, plan_artifact_digests, plan_demo_system
+from .execute import (
+    PlannedSystem,
+    plan_artifact_digests,
+    plan_demo_system,
+    quantize_plan_artifacts,
+)
 from .plan import (
     FUSION_ARTIFACT,
     DeploymentPlan,
@@ -43,6 +48,7 @@ __all__ = [
     "ReplanInfeasible",
     "plan_artifact_digests",
     "plan_demo_system",
+    "quantize_plan_artifacts",
     "replan_on_failure",
     "residual_capacity",
     "score_plan",

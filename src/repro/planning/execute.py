@@ -52,6 +52,24 @@ def _build_model(kind: str, config: dict, rng: np.random.Generator):
         return entry.build(cfg)
 
 
+def _build_submodel(plan: DeploymentPlan, index: int) -> nn.Module:
+    """Fresh module for one planned sub-model, in its serving scheme.
+
+    A quantized sub-model gets its module surgery applied *before* any
+    state load: :func:`repro.nn.quantize_module` renames the weight
+    buffers (``weight`` → ``weight_q8``/``weight_scale``), so the module
+    must already be quantized for an int8 artifact's state dict to load
+    strictly.
+    """
+    sub = plan.submodels[index]
+    model = _build_model(sub.model_kind, sub.model_config,
+                         np.random.default_rng(plan.seed + index))
+    quant = getattr(sub, "quant", "fp32")
+    if quant != "fp32":
+        model = nn.quantize_module(model, scheme=quant)
+    return model
+
+
 def plan_artifact_digests(plan: DeploymentPlan) -> dict[str, str]:
     """Recipe digests for every artifact a plan rebuilds (incl. fusion)."""
     return {name: recipe_digest(recipe)
@@ -70,9 +88,8 @@ def _warm_boot_from_store(plan: DeploymentPlan, store: ArtifactStore,
     """
     if not all(store.has(digest) for digest in digests.values()):
         return None
-    models = [_build_model(sub.model_kind, sub.model_config,
-                           np.random.default_rng(plan.seed + index))
-              for index, sub in enumerate(plan.submodels)]
+    models = [_build_submodel(plan, index)
+              for index in range(len(plan.submodels))]
     fusion = FusionMLP(FusionConfig.from_dict(dict(plan.fusion_config)),
                        rng=np.random.default_rng(plan.seed + 1000))
     modules: dict[str, nn.Module] = {
@@ -93,11 +110,68 @@ def _populate_store(plan: DeploymentPlan, store: ArtifactStore,
         store.put(digests[sub.model_id], model,
                   config=dict(sub.model_config), kind=sub.model_kind,
                   meta={"model_id": sub.model_id,
+                        "quant": getattr(sub, "quant", "fp32"),
                         "recipe": recipes[sub.model_id]})
     store.put(digests[FUSION_ARTIFACT], fusion,
               config=dict(plan.fusion_config), kind=FUSION_ARTIFACT,
               meta={"model_id": FUSION_ARTIFACT,
+                    "quant": "fp32",
                     "recipe": recipes[FUSION_ARTIFACT]})
+
+
+def _quantize_planned_models(plan: DeploymentPlan,
+                             models: list[nn.Module]) -> list[nn.Module]:
+    """Convert trained fp32 modules to each sub-model's serving scheme."""
+    return [nn.quantize_module(model, scheme=sub.quant)
+            if getattr(sub, "quant", "fp32") != "fp32" else model
+            for sub, model in zip(plan.submodels, models)]
+
+
+def quantize_plan_artifacts(plan: DeploymentPlan, store: ArtifactStore,
+                            scheme: str = "int8") -> list[dict]:
+    """Derive quantized store artifacts from a plan's fp32 artifacts.
+
+    For every sub-model the fp32 checkpoint is loaded from ``store``
+    (by the plan's recorded ref or the fp32 recipe digest), its weights
+    are per-channel quantized, and the result is stored under the
+    quantized recipe's own digest — so fp32 and int8 variants coexist
+    and dedup independently.  Existing quantized artifacts are kept
+    (the derivation is deterministic).  Returns one report row per
+    sub-model with both digests and byte sizes; raises ``KeyError``
+    when a needed fp32 artifact is absent.
+    """
+    rows: list[dict] = []
+    for index, sub in enumerate(plan.submodels):
+        fp32_digest = recipe_digest(
+            plan.submodel_recipe(sub.model_id, quant="fp32"))
+        if getattr(sub, "quant", "fp32") == "fp32" \
+                and plan.artifacts.get(sub.model_id):
+            fp32_digest = plan.artifacts[sub.model_id]
+        quant_recipe = plan.submodel_recipe(sub.model_id, quant=scheme)
+        quant_digest = recipe_digest(quant_recipe)
+        if not store.has(fp32_digest):
+            raise KeyError(
+                f"store has no fp32 artifact for {sub.model_id!r} "
+                f"(digest {fp32_digest[:12]}); run the plan against the "
+                "store first to populate it")
+        state, config = store.get(fp32_digest)
+        qstate = nn.quantize_state_dict(state)
+        if not store.has(quant_digest):
+            model = _build_model(sub.model_kind, config or sub.model_config,
+                                 np.random.default_rng(plan.seed + index))
+            model = nn.quantize_module(model, scheme=scheme)
+            model.load_state_dict(qstate)
+            store.put(quant_digest, model,
+                      config=dict(config or sub.model_config),
+                      kind=sub.model_kind,
+                      meta={"model_id": sub.model_id, "quant": scheme,
+                            "recipe": quant_recipe})
+        rows.append({"model_id": sub.model_id,
+                     "fp32_digest": fp32_digest,
+                     "quant_digest": quant_digest,
+                     "fp32_bytes": nn.state_dict_num_bytes(state),
+                     "quant_bytes": nn.state_dict_num_bytes(qstate)})
+    return rows
 
 
 @dataclasses.dataclass
@@ -222,7 +296,8 @@ class PlannedSystem:
     # -- rolling deployment --------------------------------------------
     def swap_from_store(self, server: InferenceServer, model_id: str,
                         store: ArtifactStore,
-                        digest: str | None = None) -> str:
+                        digest: str | None = None,
+                        quant: str | None = None) -> str:
         """Zero-downtime rolling swap of one sub-model from an artifact.
 
         Boots a fresh worker for ``model_id`` from the store artifact
@@ -231,16 +306,35 @@ class PlannedSystem:
         :meth:`~repro.serving.server.InferenceServer.swap_worker`, which
         drains in-flight batches and atomically retargets the fusion
         slot — no request is dropped.  Returns the new worker id.
+
+        ``quant`` retargets the slot to another weight scheme mid-flight
+        (the live fp32→int8 rollout): the plan's sub-model entry is
+        switched to the scheme, and a missing quantized artifact is
+        derived on demand from the fp32 one in the store.
         """
+        index = self.plan.model_ids.index(model_id)
+        sub = self.plan.submodels[index]
+        if quant is not None and quant != getattr(sub, "quant", "fp32"):
+            if quant != "fp32":
+                quantize_plan_artifacts(self.plan, store, scheme=quant)
+            sub = dataclasses.replace(sub, quant=quant)
+            self.plan.submodels[index] = sub
+            self.plan.artifacts.pop(model_id, None)  # old variant's ref
+            if digest is None:
+                digest = recipe_digest(self.plan.submodel_recipe(model_id))
         if digest is None:
             digest = self.plan.artifacts.get(model_id) \
                 or recipe_digest(self.plan.submodel_recipe(model_id))
-        index = self.plan.model_ids.index(model_id)
-        sub = self.plan.submodels[index]
         state, config = store.get(digest)
         model = _build_model(sub.model_kind, config or sub.model_config,
                              np.random.default_rng(self.plan.seed + index))
+        if getattr(sub, "quant", "fp32") != "fp32":
+            model = nn.quantize_module(model, scheme=sub.quant)
         model.load_state_dict(state)
+        size = nn.state_dict_num_bytes(state)
+        if size != sub.size_bytes:     # keep assignment bookkeeping honest
+            sub = dataclasses.replace(sub, size_bytes=size)
+            self.plan.submodels[index] = sub
         generation = 1 + sum(
             1 for worker in server.cluster.worker_ids
             if worker.startswith(f"{model_id}@swap"))
@@ -282,6 +376,9 @@ class PlannedSystem:
                 return PlannedSystem(plan=plan, models=models, fusion=fusion,
                                      time_scale=time_scale,
                                      transport=transport, warm_booted=True)
+        # Cold rebuild always trains in fp32; quantized serving schemes
+        # are applied afterwards (quantization is post-training, and the
+        # shared fusion artifact is defined over fp32 features).
         models = [_build_model(sub.model_kind, sub.model_config,
                                np.random.default_rng(plan.seed + index))
                   for index, sub in enumerate(plan.submodels)]
@@ -296,6 +393,7 @@ class PlannedSystem:
                               image_size=int(build["image_size"]),
                               seed=plan.seed,
                               fusion_epochs=int(build.get("fusion_epochs", 8)))
+        models = _quantize_planned_models(plan, models)
         if store is not None:
             _populate_store(plan, store, digests, models, fusion)
             plan.artifacts = dict(digests)
@@ -311,7 +409,9 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
                      config: PlannerConfig | None = None,
                      codec: str = "raw32",
                      transport: str = "multiprocess",
-                     store: ArtifactStore | None = None) -> PlannedSystem:
+                     store: ArtifactStore | None = None,
+                     quant: str = "fp32",
+                     memory_headroom: float = 3.0) -> PlannedSystem:
     """Plan a small (optionally heterogeneous) serveable demo fleet.
 
     Builds one tiny sub-model per class group, profiles them, sizes a
@@ -332,6 +432,14 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
     the plan's rebuild recipe is present (skipping training), and
     populates the store after a cold build; the emitted plan records the
     artifact refs either way.
+
+    ``quant`` selects the served weight scheme: ``"fp32"``, ``"int8"``
+    (per-channel post-training quantization, ~3-4x smaller artifacts),
+    or ``"auto"`` — fp32 when it fits the device memory budgets,
+    falling back to int8 otherwise.  ``memory_headroom`` scales each
+    device's memory budget in units of the largest fp32 sub-model (the
+    default 3.0 keeps replanning headroom; below ~1.0 fp32 no longer
+    fits and ``"auto"`` selects int8).
     """
     if throughputs is None:
         throughputs = [1.0 / (1 + 0.5 * i) for i in range(num_workers)]
@@ -389,18 +497,27 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
         planner_config = dataclasses.replace(planner_config, seed=seed)
     devices = [DeviceModel(device_id=f"edge-{index}",
                            macs_per_second=1e12 * factor,
-                           memory_bytes=3 * max_size,
+                           memory_bytes=max(1, int(memory_headroom
+                                                   * max_size)),
                            energy_flops=3 * max_flops
                            * max(1, planner_config.num_samples))
                for index, factor in enumerate(throughputs)]
     fusion_device = DeviceModel(device_id="fusion", macs_per_second=1e12)
     link = LinkModel(bandwidth_bps=1e9, overhead_seconds=0.0)
 
+    int8_sizes = None
+    if quant in ("int8", "auto"):
+        int8_sizes = {
+            f"submodel-{index}": nn.state_dict_num_bytes(
+                nn.quantize_state_dict(model.state_dict()))
+            for index, model in enumerate(models)}
     planner = Planner(devices, fusion_device, link, planner_config)
     # The plan is assembled *before* training so its artifact recipes are
     # the single source of digest truth for the store lookup below.
     plan = planner.plan_submodels(num_classes, partition, submodels,
-                                  build=build)
+                                  build=build,
+                                  quant=None if quant == "fp32" else quant,
+                                  int8_sizes=int8_sizes)
 
     warm = False
     digests: dict[str, str] = {}
@@ -417,6 +534,11 @@ def plan_demo_system(num_workers: int = 2, model_kind: str = "vit",
         else:
             dataset = train_demo_system(models, fusion, image_size, seed,
                                         fusion_epochs)
+    if not warm:
+        # Post-training quantization to each sub-model's planned scheme
+        # (a no-op for fp32 plans); the store then receives — and the
+        # accuracy/codec measurements below see — exactly what serves.
+        models = _quantize_planned_models(plan, models)
     if store is not None:
         if not warm:
             _populate_store(plan, store, digests, models, fusion)

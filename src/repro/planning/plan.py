@@ -56,6 +56,7 @@ class PlannedSubModel:
     feature_dim: int                   # width of forward_features output
     model_kind: str                    # repro.edge.runtime.MODEL_KINDS key
     model_config: dict                 # exact config dict to rebuild the module
+    quant: str = "fp32"                # weight scheme served ("fp32"/"int8")
 
     def to_spec(self) -> SubModelSpec:
         """The assignment-problem view of this sub-model."""
@@ -252,34 +253,44 @@ class DeploymentPlan:
         return {key: self.build[key] for key in _TRAIN_BUILD_KEYS
                 if key in self.build}
 
-    def submodel_recipe(self, model_id: str) -> dict:
+    def submodel_recipe(self, model_id: str,
+                        quant: str | None = None) -> dict:
         """The deterministic rebuild recipe one sub-model is keyed by.
 
-        Everything that determines the trained weights — kind, exact
-        config, head-pruning number, class group, per-model seed, and the
-        training protocol — and nothing that doesn't (codec, mapping,
-        scoring), so a replanned or re-scored plan keeps its artifacts.
-        The shape is :func:`repro.store.submodel_recipe` (shared with the
-        demo builder, so digest schemas cannot drift).
+        Everything that determines the served weights — kind, exact
+        config, head-pruning number, class group, per-model seed, the
+        training protocol, and the quantization scheme — and nothing
+        that doesn't (codec, mapping, scoring), so a replanned or
+        re-scored plan keeps its artifacts.  The shape is
+        :func:`repro.store.submodel_recipe` (shared with the demo
+        builder, so digest schemas cannot drift).  ``quant`` overrides
+        the sub-model's recorded scheme, letting callers address a
+        sibling variant (e.g. the fp32 artifact an int8 one is derived
+        from) without mutating the plan.
         """
         index = self.model_ids.index(model_id)
         sub = self.submodels[index]
+        if quant is None:
+            quant = getattr(sub, "quant", "fp32")
         return store_recipes.submodel_recipe(
             kind=sub.model_kind, config=sub.model_config, hp=sub.hp,
             classes=sub.classes, seed=self.seed + index,
-            train=self.train_recipe())
+            train=self.train_recipe(), quant=quant)
 
     def fusion_recipe(self) -> dict:
         """The fusion MLP's rebuild recipe.
 
         Fusion trains on the concatenated features of *all* sub-models,
         so its identity embeds every sub-model recipe: retrain any
-        sub-model and the fusion artifact is invalidated with it.
+        sub-model and the fusion artifact is invalidated with it.  The
+        embedded recipes are always the fp32 ones — fusion trains
+        against full-precision features, and serving a quantized weight
+        variant must not orphan the shared fusion artifact.
         """
         return store_recipes.fusion_recipe(
             config=self.fusion_config, seed=self.seed + 1000,
             train=self.train_recipe(),
-            submodels=[self.submodel_recipe(m.model_id)
+            submodels=[self.submodel_recipe(m.model_id, quant="fp32")
                        for m in self.submodels])
 
     def artifact_recipes(self) -> dict[str, dict]:

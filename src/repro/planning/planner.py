@@ -165,20 +165,70 @@ class Planner:
     def plan_submodels(self, num_classes: int, partition: list[list[int]],
                        submodels: list[PlannedSubModel],
                        build: dict | None = None,
-                       accuracy: float | None = None) -> DeploymentPlan:
+                       accuracy: float | None = None,
+                       quant: str | None = None,
+                       int8_sizes: dict[str, int] | None = None,
+                       ) -> DeploymentPlan:
         """Assign and score pre-built sub-models (no head schedule).
 
         This is the path for concrete, already-trained fleets (e.g. the
         demo systems): footprints come from the real modules, placement
         from :func:`repro.assignment.greedy_assign`, prediction from the
         DES simulator.
+
+        ``quant`` selects the weight scheme the fleet serves: ``"fp32"``
+        (or ``None``) keeps the sub-models as given, ``"int8"`` plans
+        the per-channel-quantized variants, and ``"auto"`` tries fp32
+        first and falls back to int8 only when the fp32 footprints do
+        not fit the device memory budgets — the planner's knob for
+        memory-constrained fleets.  ``int8_sizes`` supplies the exact
+        quantized byte sizes per model id (e.g. from
+        ``nn.state_dict_num_bytes(nn.quantize_state_dict(...))``);
+        without it a conservative ~3x shrink estimate stands in.  The
+        search is recorded in ``build["quant_selection"]``.
         """
-        assignment = greedy_assign([d.to_spec() for d in self.devices],
-                                   [m.to_spec() for m in submodels],
-                                   self.config.num_samples)
-        return self._assemble(num_classes, partition, submodels,
-                              mapping=dict(assignment.mapping),
-                              build=build, accuracy=accuracy)
+        if quant not in (None, "fp32", "int8", "auto"):
+            raise ValueError(f"unknown quant scheme {quant!r}; "
+                             "choose from 'fp32', 'int8', 'auto'")
+        schemes = {"int8": ("int8",), "auto": ("fp32", "int8")}.get(
+            quant, ("fp32",))
+        attempts: list[dict] = []
+        failure: InfeasibleAssignment | None = None
+        for scheme in schemes:
+            candidates = submodels if scheme == "fp32" \
+                else [self._int8_variant(m, int8_sizes) for m in submodels]
+            try:
+                assignment = greedy_assign(
+                    [d.to_spec() for d in self.devices],
+                    [m.to_spec() for m in candidates],
+                    self.config.num_samples)
+            except InfeasibleAssignment as exc:
+                attempts.append({"quant": scheme, "feasible": False,
+                                 "error": str(exc)})
+                failure = exc
+                continue
+            attempts.append({"quant": scheme, "feasible": True})
+            build = dict(build or {})
+            if quant not in (None, "fp32"):
+                build["quant_selection"] = {"requested": quant,
+                                            "selected": scheme,
+                                            "attempts": attempts}
+            return self._assemble(num_classes, partition, candidates,
+                                  mapping=dict(assignment.mapping),
+                                  build=build, accuracy=accuracy)
+        raise failure
+
+    @staticmethod
+    def _int8_variant(sub: PlannedSubModel,
+                      int8_sizes: dict[str, int] | None) -> PlannedSubModel:
+        if int8_sizes is not None and sub.model_id in int8_sizes:
+            size = int(int8_sizes[sub.model_id])
+        else:
+            # Per-channel int8 keeps biases/norms and the scale vectors
+            # in fp32, so the true shrink is a bit under 4x; ~3x is a
+            # safe planning estimate when exact sizes are not supplied.
+            size = max(1, sub.size_bytes // 3)
+        return dataclasses.replace(sub, quant="int8", size_bytes=size)
 
     # ------------------------------------------------------------------
     def _assemble(self, num_classes: int, partition: list[list[int]],

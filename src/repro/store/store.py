@@ -68,7 +68,8 @@ class ArtifactCorrupt(ArtifactError):
 
 
 def submodel_recipe(kind: str, config: dict, hp: int | None,
-                    classes, seed: int, train: dict) -> dict:
+                    classes, seed: int, train: dict,
+                    quant: str = "fp32") -> dict:
     """The canonical rebuild-recipe shape for one sub-model.
 
     Shared by the planning layer (:meth:`repro.planning.DeploymentPlan.
@@ -76,13 +77,22 @@ def submodel_recipe(kind: str, config: dict, hp: int | None,
     never drift — a silent schema divergence would turn every warm boot
     into a full retrain.  ``classes`` is ``None`` when the sub-model
     trains on all classes rather than a partition subset.
+
+    ``quant`` names a post-training weight-quantization scheme (see
+    :mod:`repro.nn.quantize`); a non-``"fp32"`` value extends the recipe
+    so quantized variants get their own digest and dedup independently.
+    The key is *omitted* entirely for ``"fp32"`` so every digest minted
+    before quantization existed stays valid.
     """
-    return {"kind": str(kind),
-            "config": dict(config),
-            "hp": None if hp is None else int(hp),
-            "classes": None if classes is None else [int(c) for c in classes],
-            "seed": int(seed),
-            "train": dict(train)}
+    recipe = {"kind": str(kind),
+              "config": dict(config),
+              "hp": None if hp is None else int(hp),
+              "classes": None if classes is None else [int(c) for c in classes],
+              "seed": int(seed),
+              "train": dict(train)}
+    if quant != "fp32":
+        recipe["quant"] = str(quant)
+    return recipe
 
 
 def fusion_recipe(config: dict, seed: int, train: dict,

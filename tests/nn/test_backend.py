@@ -29,8 +29,32 @@ def test_numpy_backend_is_default():
 
 
 def test_set_backend_rejects_unknown_name():
-    with pytest.raises(KeyError):
+    with pytest.raises(ValueError, match="registered backends"):
         set_backend("no-such-backend")
+
+
+def test_bad_env_var_falls_back_to_numpy_with_warning():
+    """A typo in REPRO_BACKEND must degrade, not crash the import."""
+    code = ("import warnings; warnings.simplefilter('error'); "
+            "import sys; "
+            "\ntry:\n    import repro.nn\nexcept RuntimeWarning as w:\n"
+            "    print('warned:', 'REPRO_BACKEND' in str(w))\n"
+            "    sys.exit(0)\nprint('no warning')")
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": "src", "REPRO_BACKEND": "no-such", "PATH": "/usr/bin:/bin"},
+        cwd=__file__.rsplit("/tests/", 1)[0],
+    )
+    assert out.stdout.strip() == "warned: True"
+    code = "import repro.nn as nn; print(nn.get_backend().name)"
+    out = subprocess.run(
+        [sys.executable, "-W", "ignore::RuntimeWarning", "-c", code],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": "src", "REPRO_BACKEND": "no-such", "PATH": "/usr/bin:/bin"},
+        cwd=__file__.rsplit("/tests/", 1)[0],
+    )
+    assert out.stdout.strip() == "numpy"
 
 
 def test_use_backend_scoped_override():
@@ -158,6 +182,33 @@ def test_workspace_clear_and_nbytes():
     assert ws.nbytes() == 32
     ws.clear()
     assert len(ws) == 0
+
+
+def test_workspace_nbytes_totals_across_threads():
+    """nbytes() is the whole server's scratch footprint; per_thread()
+    breaks it down for telemetry."""
+    import threading
+
+    ws = Workspace()
+    ws.buffer("x", (8,), np.float32)          # 32 bytes on this thread
+    done = threading.Event()
+
+    def worker():
+        ws.buffer("x", (16,), np.float32)     # 64 bytes on the other thread
+        done.set()
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    assert done.is_set()
+    assert ws.nbytes() == 32 + 64
+    breakdown = ws.per_thread()
+    assert sorted(breakdown.values()) == [32, 64]
+    assert threading.get_ident() in breakdown
+    ws.clear()                                # current thread only
+    assert ws.nbytes() == 64
+    ws.clear_all()
+    assert ws.nbytes() == 0 and ws.per_thread() == {}
 
 
 def test_scratch_without_workspace_allocates_fresh():

@@ -1,0 +1,191 @@
+"""BlockedBackend kernels agree with the reference NumpyBackend."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.backend import NumpyBackend, available_backends
+from repro.nn.blocked import BlockedBackend
+from repro.nn.quantize import quantize_array
+
+
+@pytest.fixture(scope="module")
+def blocked() -> BlockedBackend:
+    return BlockedBackend()
+
+
+@pytest.fixture(scope="module")
+def reference() -> NumpyBackend:
+    return NumpyBackend()
+
+
+def test_blocked_backend_is_registered():
+    assert "blocked" in available_backends()
+    assert isinstance(nn.set_backend("blocked"), BlockedBackend)
+    nn.set_backend("numpy")
+
+
+@pytest.mark.parametrize("shape", [(1, 7), (5, 64), (300, 48), (2, 9, 33)])
+def test_linear_matches_reference(blocked, reference, shape):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=shape).astype(np.float32)
+    w = rng.normal(size=(23, shape[-1])).astype(np.float32)
+    b = rng.normal(size=23).astype(np.float32)
+    np.testing.assert_allclose(blocked.linear(x, w, b),
+                               reference.linear(x, w, b),
+                               rtol=1e-5, atol=1e-5)
+
+
+@pytest.mark.parametrize("activation", [None, "gelu", "relu", "sigmoid",
+                                        "tanh"])
+def test_linear_act_epilogues(blocked, reference, activation):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(600, 32)).astype(np.float32)  # multi-block rows
+    w = rng.normal(size=(16, 32)).astype(np.float32)
+    b = rng.normal(size=16).astype(np.float32)
+    np.testing.assert_allclose(
+        blocked.linear_act(x, w, b, activation=activation),
+        reference.linear_act(x, w, b, activation=activation),
+        rtol=1e-5, atol=1e-5)
+
+
+def test_linear_honours_out_buffer(blocked):
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(4, 8)).astype(np.float32)
+    w = rng.normal(size=(3, 8)).astype(np.float32)
+    buf = np.empty((4, 3), dtype=np.float32)
+    out = blocked.linear(x, w, None, out=buf)
+    assert np.shares_memory(out, buf)
+
+
+def test_pack_cache_prunes_on_weight_death(blocked):
+    w = np.random.default_rng(3).normal(size=(8, 8)).astype(np.float32)
+    x = np.ones((2, 8), dtype=np.float32)
+    blocked.linear(x, w)
+    assert id(w) in blocked._packed
+    del w
+    assert len(blocked._packed) == 0 or all(
+        ref() is not None for ref, _ in blocked._packed.values())
+
+
+def test_large_weights_are_not_packed():
+    small = BlockedBackend(pack_limit=64)      # 64-byte budget
+    w = np.random.default_rng(4).normal(size=(16, 16)).astype(np.float32)
+    assert small._packed_transpose(w) is None
+    y = small.linear(np.ones((2, 16), dtype=np.float32), w)
+    assert y.shape == (2, 16)                  # NT fallback still correct
+
+
+@pytest.mark.parametrize("shape", [(4, 9), (8, 12, 17, 17), (1, 1)])
+def test_softmax_matches_reference(blocked, reference, shape):
+    x = (np.random.default_rng(5).normal(size=shape) * 5).astype(np.float32)
+    got = blocked.softmax(x, axis=-1)
+    want = reference.softmax(x, axis=-1)
+    np.testing.assert_allclose(got, want, rtol=2e-4, atol=2e-6)
+    np.testing.assert_allclose(got.sum(axis=-1), 1.0, rtol=1e-5)
+
+
+def test_softmax_clip_keeps_extreme_logits_finite(blocked):
+    x = np.array([[500.0, -500.0, 0.0]], dtype=np.float32)
+    out = blocked.softmax(x, axis=-1)
+    assert np.isfinite(out).all()
+    assert out[0, 0] > 0.999999
+
+
+def test_softmax_non_last_axis_falls_back(blocked, reference):
+    x = np.random.default_rng(6).normal(size=(3, 4, 5)).astype(np.float32)
+    np.testing.assert_allclose(blocked.softmax(x, axis=1),
+                               reference.softmax(x, axis=1),
+                               rtol=1e-5, atol=1e-6)
+
+
+@pytest.mark.parametrize("shape", [(2, 5, 8), (1576, 768), (1, 3)])
+def test_layer_norm_matches_reference(blocked, reference, shape):
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=shape).astype(np.float32)
+    w = rng.normal(size=shape[-1]).astype(np.float32)
+    b = rng.normal(size=shape[-1]).astype(np.float32)
+    np.testing.assert_allclose(blocked.layer_norm(x, w, b, 1e-5),
+                               reference.layer_norm(x, w, b, 1e-5),
+                               rtol=2e-4, atol=2e-5)
+
+
+def test_matmul_handles_strided_attention_views(blocked, reference):
+    rng = np.random.default_rng(8)
+    q = rng.normal(size=(2, 4, 16, 8)).astype(np.float32)
+    k = rng.normal(size=(2, 4, 16, 8)).astype(np.float32)
+    kt = k.transpose(0, 1, 3, 2)               # strided view, NT case
+    np.testing.assert_allclose(blocked.matmul(q, kt),
+                               reference.matmul(q, kt),
+                               rtol=1e-5, atol=1e-5)
+    qs = q.transpose(0, 2, 1, 3)               # strided a operand
+    ks = k.transpose(0, 2, 3, 1)               # strided, not an NT view
+    np.testing.assert_allclose(blocked.matmul(qs, ks),
+                               reference.matmul(qs, ks),
+                               rtol=1e-5, atol=1e-5)
+
+
+def test_einsum_conv_lowering_shortcut(blocked, reference):
+    rng = np.random.default_rng(9)
+    w = rng.normal(size=(8, 27)).astype(np.float32)
+    cols = rng.normal(size=(2, 27, 36)).astype(np.float32)
+    np.testing.assert_allclose(blocked.einsum("ok,nkp->nop", w, cols),
+                               reference.einsum("ok,nkp->nop", w, cols),
+                               rtol=1e-5, atol=1e-5)
+
+
+@pytest.mark.parametrize("pack", [True, False])
+def test_linear_q8_both_paths_match_reference(reference, pack):
+    backend = BlockedBackend() if pack else BlockedBackend(pack_limit=64)
+    rng = np.random.default_rng(10)
+    w = rng.normal(size=(48, 32)).astype(np.float32)
+    q8, scale = quantize_array(w)
+    x = rng.normal(size=(5, 32)).astype(np.float32)
+    b = rng.normal(size=48).astype(np.float32)
+    got = backend.linear_q8(x, q8, scale, b, activation="gelu")
+    want = reference.linear_q8(x, q8, scale, b, activation="gelu")
+    np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+
+def test_concurrent_inference_is_thread_safe():
+    """Two threads forwarding the same model under the blocked backend
+    must not corrupt each other via shared scratch or pack caches."""
+    from repro.models.vit import VisionTransformer, vit_tiny_config
+
+    model = VisionTransformer(vit_tiny_config(),
+                              rng=np.random.default_rng(11))
+    model.eval()
+    x = np.random.default_rng(12).normal(size=(4, 3, 32, 32)) \
+        .astype(np.float32)
+    with nn.inference_mode():
+        ref = model(nn.Tensor(x)).data.copy()
+
+    results: dict[int, np.ndarray] = {}
+    errors: list[BaseException] = []
+
+    def worker(index: int) -> None:
+        try:
+            # set_backend is process-wide, so every thread runs blocked.
+            with nn.inference_mode():
+                for _ in range(5):
+                    out = model(nn.Tensor(x)).data
+            results[index] = out.copy()
+        except BaseException as exc:   # surfaced on the main thread
+            errors.append(exc)
+
+    previous = nn.get_backend()
+    nn.set_backend("blocked")
+    try:
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        nn.set_backend(previous)
+    assert not errors, errors
+    for out in results.values():
+        np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)
