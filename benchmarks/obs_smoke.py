@@ -1,0 +1,205 @@
+"""Observability CI smoke: span trees, Perfetto export, tracing overhead.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py
+
+Against a 2-worker emulated fleet it checks that:
+
+* 300 open-loop requests served **with tracing enabled** each yield a
+  complete span tree on every transport (``multiprocess``,
+  ``inprocess``, ``tcp``): a ``request`` root, its batch's
+  ``batch.serve``/``batch.gather``/``batch.fusion`` spans, and
+  worker-process ``worker.request``/``worker.forward``/``codec.encode``
+  spans joined to the server-side batch span by the trace context
+  propagated over the wire;
+* the Chrome trace-event (Perfetto) export is valid JSON whose events
+  are well-formed complete events; and
+* enabled-tracing p95 latency stays within 5% of tracing-off p95 on an
+  emulation-dominated fleet (interleaved off/on runs, median-of-medians
+  so scheduler noise doesn't flip the gate).
+
+Exits non-zero on any violation, so CI fails loudly.
+"""
+
+import json
+import os
+import statistics
+import tempfile
+
+from repro.core.metrics import format_table
+from repro.edge.network import LinkModel
+from repro.obs import (
+    chrome_trace,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    write_chrome_trace,
+)
+from repro.serving import (
+    BatchingConfig,
+    InferenceServer,
+    LoadgenConfig,
+    ServerConfig,
+    build_demo_system,
+    run_load,
+)
+
+TRANSPORTS = ("multiprocess", "inprocess", "tcp")
+TRACED_REQUESTS = 300
+OVERHEAD_REQUESTS = 120
+OVERHEAD_PAIRS = 3
+OVERHEAD_CEILING = 1.05
+WORKER_SPAN_NAMES = {"worker.request", "worker.forward", "codec.encode",
+                     "worker.emulate"}
+
+
+def make_server(transport: str, time_scale: float = 0.0,
+                link: LinkModel | None = None):
+    system = build_demo_system(num_workers=2, time_scale=time_scale,
+                               transport=transport, link=link)
+    server = InferenceServer(
+        system.make_cluster(), system.fusion,
+        ServerConfig(batching=BatchingConfig(max_batch_samples=16,
+                                             max_wait_s=0.002)))
+    return system, server
+
+
+def check_span_trees(transport: str) -> dict:
+    """Serve traced traffic and assert every request's tree is complete."""
+    enable_tracing()
+    system, server = make_server(transport)
+    with server:
+        result = run_load(server, system.input_shape,
+                          LoadgenConfig(num_requests=TRACED_REQUESTS,
+                                        mode="open", offered_rps=300.0))
+    spans = get_tracer().spans()
+    assert get_tracer().dropped == 0, "ring buffer dropped spans"
+    assert result.completed == TRACED_REQUESTS and result.errors == 0, result
+
+    by_name: dict[str, list] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+
+    roots = by_name.get("request", [])
+    assert len(roots) == TRACED_REQUESTS, \
+        f"{transport}: {len(roots)} request roots, want {TRACED_REQUESTS}"
+
+    batch_spans = {s.trace_id: s for s in by_name.get("batch.serve", [])}
+    batch_children: dict[str, set] = {}
+    worker_spans = 0
+    for name in ("batch.gather", "batch.fusion"):
+        for span in by_name.get(name, []):
+            batch_children.setdefault(span.trace_id, set()).add(name)
+    for span in spans:
+        if span.name in WORKER_SPAN_NAMES:
+            assert span.process != "server", \
+                f"{span.name} must be emitted in the worker process"
+            worker_spans += 1
+    for span in by_name.get("worker.request", []):
+        batch = batch_spans.get(span.trace_id)
+        assert batch is not None, \
+            f"worker.request trace {span.trace_id} has no batch.serve"
+        assert span.parent_id == batch.span_id, \
+            "worker.request must parent onto the propagated batch span"
+        batch_children.setdefault(span.trace_id, set()).add("worker.request")
+    for span in by_name.get("codec.decode", []):
+        assert span.process == "server", \
+            "codec.decode runs on the gather side"
+        batch_children.setdefault(span.trace_id, set()).add("codec.decode")
+
+    need = {"batch.gather", "batch.fusion", "worker.request", "codec.decode"}
+    for root in roots:
+        batch_id = root.attrs.get("batch_id")
+        assert batch_id in batch_spans, \
+            f"request {root.trace_id}: batch {batch_id} has no batch.serve"
+        missing = need - batch_children.get(batch_id, set())
+        assert not missing, \
+            f"request {root.trace_id}: batch {batch_id} missing {missing}"
+        queue = [s for s in by_name.get("request.queue", [])
+                 if s.trace_id == root.trace_id]
+        assert queue and queue[0].parent_id == root.span_id, \
+            f"request {root.trace_id} lacks a queue child span"
+
+    trace = chrome_trace(spans)
+    disable_tracing()
+    return {"transport": transport, "requests": result.completed,
+            "spans": len(spans), "worker_spans": worker_spans,
+            "events": len(trace["traceEvents"]),
+            "p95_ms": round((result.p95_s or 0.0) * 1e3, 1)}
+
+
+def check_perfetto_export() -> int:
+    """Round-trip the export through disk and validate the JSON shape."""
+    enable_tracing()
+    system, server = make_server("inprocess")
+    with server:
+        run_load(server, system.input_shape,
+                 LoadgenConfig(num_requests=50, mode="open",
+                               offered_rps=300.0))
+    spans = get_tracer().spans()
+    disable_tracing()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.json")
+        count = write_chrome_trace(spans, path)
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    events = trace["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert count == len(spans) and len(complete) == count, \
+        f"export wrote {len(complete)} complete events for {count} spans"
+    assert trace["otherData"]["span_count"] == count
+    for event in complete:
+        assert event["ts"] >= 0 and event["dur"] >= 0, event
+        assert {"name", "pid", "tid", "args"} <= set(event), event
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"
+             and e["name"] == "process_name"}
+    assert "server" in names and len(names) >= 3, \
+        f"expected server + worker process tracks, got {names}"
+    return count
+
+
+def measure_p95(traced: bool) -> float:
+    """One open-loop run on an emulation-dominated in-process fleet."""
+    if traced:
+        enable_tracing()
+    else:
+        disable_tracing()
+    system, server = make_server(
+        "inprocess", time_scale=1.0,
+        link=LinkModel(bandwidth_bps=1e9, overhead_seconds=0.005))
+    with server:
+        result = run_load(server, system.input_shape,
+                          LoadgenConfig(num_requests=OVERHEAD_REQUESTS,
+                                        mode="open", offered_rps=300.0))
+    disable_tracing()
+    assert result.errors == 0 and result.dropped == 0, result
+    return result.p95_s
+
+
+def main() -> None:
+    rows = [check_span_trees(transport) for transport in TRANSPORTS]
+    print(format_table(rows))
+
+    exported = check_perfetto_export()
+    print(f"\nperfetto export: {exported} spans round-trip as valid "
+          "trace-event JSON")
+
+    # Interleaved off/on pairs; medians tame scheduler noise in CI.
+    off, on = [], []
+    for _ in range(OVERHEAD_PAIRS):
+        off.append(measure_p95(traced=False))
+        on.append(measure_p95(traced=True))
+    p95_off = statistics.median(off)
+    p95_on = statistics.median(on)
+    ratio = p95_on / p95_off
+    print(f"tracing overhead: p95 off {p95_off * 1e3:.1f}ms, "
+          f"on {p95_on * 1e3:.1f}ms ({ratio:.3f}x)")
+    assert ratio <= OVERHEAD_CEILING, \
+        f"tracing-on p95 is {ratio:.3f}x tracing-off (limit " \
+        f"{OVERHEAD_CEILING}x)"
+    print("obs smoke OK")
+
+
+if __name__ == "__main__":
+    main()

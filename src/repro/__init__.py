@@ -20,6 +20,9 @@ for Distributed Inference" (ICDCS 2025).  Subpackages:
 * :mod:`repro.serving` — asynchronous request-level serving: dynamic
   batching, concurrent scatter/gather dispatch, failure-aware degraded
   fusion, telemetry, and a Poisson load generator;
+* :mod:`repro.obs` — observability: cross-process request tracing,
+  a metrics registry, kernel/store profiling hooks, and Perfetto/JSONL
+  trace export;
 * :mod:`repro.planning` — the declarative deployment layer: a
   :class:`repro.planning.DeploymentPlan` scored by the DES simulator,
   JSON round-tripping, plan→serving execution, and online replanning
@@ -39,6 +42,7 @@ from . import (
     edge,
     models,
     nn,
+    obs,
     planning,
     profiling,
     pruning,
@@ -61,6 +65,7 @@ __all__ = [
     "edge",
     "models",
     "nn",
+    "obs",
     "planning",
     "profiling",
     "pruning",

@@ -17,6 +17,8 @@ Usage::
     python -m repro.cli plan --quant auto --memory-headroom 0.5 --store ./artifacts
     python -m repro.cli quantize --plan plan.json --store ./artifacts --out plan-int8.json
     python -m repro.cli loadgen --rates 50,100,200 --compare-batching
+    python -m repro.cli trace --out trace.json --transport inprocess
+    python -m repro.cli loadgen --rates 100 --trace trace.json --metrics
     python -m repro.cli artifacts ls --store ./artifacts
     python -m repro.cli artifacts gc --store ./artifacts --max-mb 64
 
@@ -211,6 +213,36 @@ def _make_server(args):
                                    config)
 
 
+def _maybe_enable_tracing(args) -> bool:
+    """Turn on span collection when a trace export was requested."""
+    if not (getattr(args, "trace", None)
+            or getattr(args, "trace_jsonl", None)):
+        return False
+    from . import obs
+
+    obs.enable_tracing()
+    return True
+
+
+def _export_observability(args) -> None:
+    """Write requested trace exports; progress notes go to stderr."""
+    trace_path = getattr(args, "trace", None)
+    jsonl_path = getattr(args, "trace_jsonl", None)
+    if not trace_path and not jsonl_path:
+        return
+    from . import obs
+
+    spans = obs.get_tracer().spans()
+    if trace_path:
+        count = obs.write_chrome_trace(spans, trace_path)
+        print(f"# wrote {count} spans to {trace_path} "
+              f"(open at https://ui.perfetto.dev)", file=sys.stderr)
+    if jsonl_path:
+        count = obs.write_jsonl(spans, jsonl_path)
+        print(f"# wrote {count} JSONL span lines to {jsonl_path}",
+              file=sys.stderr)
+
+
 def cmd_serve(args) -> None:
     import json
     import threading
@@ -223,7 +255,7 @@ def cmd_serve(args) -> None:
         raise SystemExit("--swap-after needs --plan and --store "
                          "(the replacement worker boots from the "
                          "plan's store artifact)")
-    quiet = args.json
+    _maybe_enable_tracing(args)
     system, server = _make_server(args)
     kill_timer = None
     swap_timer = None
@@ -234,8 +266,10 @@ def cmd_serve(args) -> None:
             kill_timer = threading.Timer(args.kill_after,
                                          server.cluster.kill_worker, (victim,))
             kill_timer.start()
-            if not quiet:
-                print(f"(will kill worker {victim} after {args.kill_after}s)")
+            # Progress notes go to stderr so `--json` stdout stays
+            # machine-parseable on its own.
+            print(f"(will kill worker {victim} after {args.kill_after}s)",
+                  file=sys.stderr)
         if args.swap_after is not None:
             slot = server.slots[0]
 
@@ -248,14 +282,13 @@ def cmd_serve(args) -> None:
                     swap_result["error"] = f"{type(exc).__name__}: {exc}"
             swap_timer = threading.Timer(args.swap_after, do_swap)
             swap_timer.start()
-            if not quiet:
-                print(f"(will rolling-swap slot {slot} after "
-                      f"{args.swap_after}s)")
+            print(f"(will rolling-swap slot {slot} after "
+                  f"{args.swap_after}s)", file=sys.stderr)
         result = run_load(server, system.input_shape,
                           LoadgenConfig(num_requests=args.requests,
                                         mode="open", offered_rps=args.rps,
                                         seed=args.seed))
-        report = server.stats()
+        report = server.stats(include_metrics=args.json or args.metrics)
         hosting = server.hosting()
         for timer in (kill_timer, swap_timer):
             if timer is not None:
@@ -264,6 +297,7 @@ def cmd_serve(args) -> None:
             # cancel() does not stop an already-running swap; let it
             # finish before the cluster shuts down underneath it.
             swap_timer.join(timeout=60)
+    _export_observability(args)
     if args.json:
         print(json.dumps({"loadgen": result.row(),
                           "report": report.to_dict(),
@@ -281,6 +315,10 @@ def cmd_serve(args) -> None:
         print(f"  slot {slot}: re-hosted on {worker}")
     if swap_result:
         print(f"  rolling swap: {swap_result}")
+    if args.metrics:
+        from . import obs
+
+        print(obs.get_registry().render_text())
 
 
 def cmd_quantize(args) -> None:
@@ -355,16 +393,36 @@ def cmd_artifacts(args) -> None:
               f"{store.total_bytes / 2 ** 20:.2f} MiB remain")
 
 
-def cmd_loadgen(args) -> None:
-    from .serving import LoadgenConfig, run_load, sweep_offered_load
+def cmd_trace(args) -> None:
+    """``repro trace``: a traced serve run with the export always on."""
+    if not args.trace:
+        args.trace = args.out
+    cmd_serve(args)
 
+
+def cmd_loadgen(args) -> None:
+    from .serving import LoadgenConfig, run_load
+
+    _maybe_enable_tracing(args)
     system, server = _make_server(args)
+    results = []
     with server:
         rates = [float(r) for r in args.rates.split(",") if r]
-        results = sweep_offered_load(server, system.input_shape, rates,
-                                     num_requests=args.requests,
-                                     seed=args.seed)
+        for rate in rates:
+            # Per-rate progress on stderr: the stdout table stays the
+            # only thing machine consumers have to parse.
+            print(f"# offered load {rate:g} rps "
+                  f"({args.requests} requests)...", file=sys.stderr)
+            results.append(run_load(
+                server, system.input_shape,
+                LoadgenConfig(num_requests=args.requests, mode="open",
+                              offered_rps=rate, seed=args.seed)))
+    _export_observability(args)
     print(format_table([r.row() for r in results]))
+    if args.metrics:
+        from . import obs
+
+        print(obs.get_registry().render_text())
 
     if args.compare_batching:
         rows = []
@@ -418,6 +476,18 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--time-scale", type=float, default=0.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="enable tracing and write a Chrome trace-"
+                             "event/Perfetto JSON timeline here (open at "
+                             "https://ui.perfetto.dev)")
+    parser.add_argument("--trace-jsonl", default=None, metavar="FILE",
+                        help="enable tracing and write the span log as "
+                             "JSONL here (one schema-versioned span per "
+                             "line)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="include the metrics-registry snapshot in "
+                             "the report (text dump on stdout; always "
+                             "embedded in --json output)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -537,6 +607,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the run report as JSON (machine-"
                               "readable; empty-window stats are null)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_trace = sub.add_parser(
+        "trace", help="serve traffic with tracing on and render the run "
+                      "as a Perfetto/Chrome trace timeline")
+    _add_serving_options(p_trace)
+    p_trace.add_argument("--rps", type=float, default=200.0,
+                         help="offered arrival rate (Poisson)")
+    p_trace.add_argument("--out", default="trace.json", metavar="FILE",
+                         help="trace-event JSON output path")
+    p_trace.set_defaults(func=cmd_trace, kill_after=None, swap_after=None,
+                         plan=None, no_replan=False, swap_quant=None,
+                         json=False)
 
     p_load = sub.add_parser(
         "loadgen", help="latency-vs-offered-load sweep over the serving layer")

@@ -25,8 +25,8 @@ a worker-liveness check, and failures surface as the typed
 
 Messages parent -> worker::
 
-    ("infer", request_id, x)   # run forward_features over x
-    ("stop",)                  # drain and exit
+    ("infer", request_id, x[, trace])   # run forward_features over x
+    ("stop",)                           # drain and exit
 
 Messages worker -> parent::
 
@@ -38,6 +38,14 @@ Messages worker -> parent::
 ``encoded`` is an :class:`~repro.edge.codec.EncodedFeatures`;
 :meth:`EdgeCluster.poll` decodes it back to a float32 array before
 handing the reply to callers, so consumers never see codec internals.
+
+The optional ``trace`` field is the propagated **trace context**
+(``{"trace_id", "parent_id"}``, see :mod:`repro.obs.trace`): when
+present the worker records spans for its forward/encode/emulate phases
+as plain dicts and piggybacks them on the reply under ``stats["_spans"]``;
+:meth:`EdgeCluster.poll` strips that key and merges the spans into the
+server-side tracer.  Absent trace context (tracing disabled), workers
+record nothing — the server's switch is the only switch.
 """
 
 from __future__ import annotations
@@ -50,6 +58,8 @@ from typing import Any, Callable
 import numpy as np
 
 from .. import nn
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer, new_span_id, span_dict, tracing_enabled
 from ..models.snn import ConvSNN, SNNConfig
 from ..models.vgg import VGG, VGGConfig
 from ..models.vit import ViTConfig, VisionTransformer
@@ -240,15 +250,22 @@ def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
             conn.send(("error", None, f"unknown command {command!r}"))
             continue
         request_id, x = message[1], message[2]
+        # Propagated trace context (absent when tracing is off server-side
+        # or the parent predates the field): its presence is the worker's
+        # only tracing switch.
+        trace = message[3] if len(message) > 3 else None
         try:
+            wall_anchor = time.time()
             wall_start = time.perf_counter()
             # Batched, graph-free, workspace-cached: repeated requests reuse
             # the same scratch buffers, which is exactly the long-lived-server
             # shape of an edge deployment.
             features = extract_features(model, x, spec.batch_size,
                                         keep_workspaces=True)
+            forward_done = time.perf_counter()
             encoded = codec.encode(features)
             wall_compute = time.perf_counter() - wall_start
+            encode_done = wall_start + wall_compute
 
             # Emulate the Pi-4B compute time and the tc-capped transfer of
             # the bytes that actually go on the wire (the encoded payload).
@@ -260,12 +277,38 @@ def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
                             - wall_compute)
             if sleep_for > 0:
                 time.sleep(sleep_for)
-            conn.send(("features", request_id, encoded,
-                       {"emulated_compute_s": emulated_compute,
-                        "emulated_transfer_s": emulated_transfer,
-                        "host_compute_s": wall_compute,
-                        "bytes_out": float(encoded.nbytes),
-                        "bytes_in": float(np.asarray(x).nbytes)}))
+            stats = {"emulated_compute_s": emulated_compute,
+                     "emulated_transfer_s": emulated_transfer,
+                     "host_compute_s": wall_compute,
+                     "bytes_out": float(encoded.nbytes),
+                     "bytes_in": float(np.asarray(x).nbytes)}
+            if trace is not None:
+                # Record this request's worker-side phases as plain span
+                # dicts (wall-clock anchored, so they align with server
+                # spans) and piggyback them on the reply.
+                done = time.perf_counter()
+                tid = trace.get("trace_id")
+                wid = spec.worker_id
+                root = new_span_id()
+
+                def _child(name, t0, t1, attrs=None):
+                    return span_dict(name, tid, new_span_id(), root, wid,
+                                     wall_anchor + (t0 - wall_start),
+                                     t1 - t0, attrs)
+
+                stats["_spans"] = [
+                    span_dict("worker.request", tid, root,
+                              trace.get("parent_id"), wid, wall_anchor,
+                              done - wall_start, {"samples": len(x)}),
+                    _child("worker.forward", wall_start, forward_done),
+                    _child("codec.encode", forward_done, encode_done,
+                           {"codec": spec.codec,
+                            "nbytes": int(encoded.nbytes)}),
+                    _child("worker.emulate", encode_done, done,
+                           {"emulated_compute_s": emulated_compute,
+                            "emulated_transfer_s": emulated_transfer}),
+                ]
+            conn.send(("features", request_id, encoded, stats))
         except Exception as exc:       # an infer error must not kill the loop
             conn.send(("error", request_id, f"{type(exc).__name__}: {exc}"))
 
@@ -323,6 +366,39 @@ class EdgeCluster:
         self._started = False
         self._request_counter = 0
         self._request_counter_lock = threading.Lock()
+        # Per-worker instrument cache + in-flight accounting: one registry
+        # lookup per worker lifetime instead of per dispatch.
+        self._worker_metrics: dict[str, dict] = {}
+        self._outstanding: dict[str, int] = {}
+
+    def _metrics_for(self, worker_id: str) -> dict:
+        metrics = self._worker_metrics.get(worker_id)
+        if metrics is None:
+            registry = get_registry()
+            metrics = self._worker_metrics[worker_id] = {
+                "dispatch": registry.counter("edge.dispatch_total",
+                                             worker=worker_id),
+                "replies": registry.counter("edge.replies_total",
+                                            worker=worker_id),
+                "inflight": registry.gauge("edge.inflight",
+                                           worker=worker_id),
+                "bytes_out": registry.counter("wire.bytes_out_total",
+                                              worker=worker_id),
+                "bytes_in": registry.counter("wire.bytes_in_total",
+                                             worker=worker_id),
+            }
+        return metrics
+
+    def _note_reply(self, worker_id: str, nbytes: int = 0) -> None:
+        """Account one reply: decrement in-flight (floored — stale replies
+        from an aborted batch must not go negative) and count wire bytes."""
+        metrics = self._metrics_for(worker_id)
+        left = max(0, self._outstanding.get(worker_id, 0) - 1)
+        self._outstanding[worker_id] = left
+        metrics["inflight"].set(left)
+        metrics["replies"].inc()
+        if nbytes:
+            metrics["bytes_in"].inc(nbytes)
 
     @classmethod
     def from_plan(cls, plan, models: list[nn.Module],
@@ -502,6 +578,11 @@ class EdgeCluster:
         if worker_id in self._down:
             return
         self._down[worker_id] = reason
+        # A retired worker owes no more replies: zero its in-flight gauge
+        # (but never touch series of workers that never dispatched).
+        if worker_id in self._worker_metrics:
+            self._outstanding[worker_id] = 0
+            self._worker_metrics[worker_id]["inflight"].set(0)
         handle = self._handles.pop(worker_id, None)
         if handle is not None:
             handle.close()
@@ -529,13 +610,19 @@ class EdgeCluster:
             return
         handle.kill()
 
-    def submit(self, worker_id: str, request_id: int, x: np.ndarray) -> bool:
+    def submit(self, worker_id: str, request_id: int, x: np.ndarray,
+               trace: dict | None = None) -> bool:
         """Dispatch one request without blocking on the reply.
 
         Inputs are canonicalized to contiguous float32 here — the dtype
         the workers compute in — so a float64 (or integer) caller cannot
         silently double the bytes crossing the worker boundary and the
         emulated transfer charged on them.
+
+        ``trace`` is an optional trace context (``{"trace_id",
+        "parent_id"}``) propagated on the wire so worker-side spans join
+        the server-side trace; when ``None`` the legacy 3-tuple is sent
+        and the worker records nothing.
 
         Returns ``False`` (after marking the worker down) when the worker
         cannot accept work — dead worker or closed channel.
@@ -550,23 +637,60 @@ class EdgeCluster:
             return False
         x = np.ascontiguousarray(x, dtype=np.float32)
         try:
-            handle.send(("infer", request_id, x))
-            return True
+            if trace is not None:
+                handle.send(("infer", request_id, x, trace))
+            else:
+                handle.send(("infer", request_id, x))
         except (BrokenPipeError, OSError):
             self.mark_down(worker_id, "pipe closed")
             return False
+        metrics = self._metrics_for(worker_id)
+        metrics["dispatch"].inc()
+        metrics["bytes_out"].inc(x.nbytes)
+        inflight = self._outstanding.get(worker_id, 0) + 1
+        self._outstanding[worker_id] = inflight
+        metrics["inflight"].set(inflight)
+        return True
 
     def _decode_reply(self, worker_id: str, message: tuple) -> tuple:
-        """Decode a ``features`` reply's payload back to a float32 array."""
+        """Decode a ``features`` reply's payload back to a float32 array.
+
+        Also the reply-side observability tap: per-worker reply/in-flight/
+        wire-bytes accounting, merging piggybacked worker spans into the
+        server-side tracer, and a ``codec.decode`` span (joined to the
+        batch trace by request id).
+        """
+        if message[0] == "error":
+            self._note_reply(worker_id)
+            return message
         if message[0] != "features" or not isinstance(message[2],
                                                       EncodedFeatures):
             return message
+        encoded = message[2]
+        self._note_reply(worker_id, nbytes=int(encoded.nbytes))
+        stats = message[3]
+        # Strip piggybacked spans unconditionally so consumers of the
+        # stats dict never see the private key, even if tracing was
+        # switched off between dispatch and reply.
+        spans = stats.pop("_spans", None) if isinstance(stats, dict) else None
+        traced = tracing_enabled()
+        if spans and traced:
+            get_tracer().record_dicts(spans)
         try:
-            features = get_codec(message[2].codec).decode(message[2])
+            t_wall = time.time()
+            t0 = time.perf_counter()
+            features = get_codec(encoded.codec).decode(encoded)
+            decode_s = time.perf_counter() - t0
         except Exception as exc:       # corrupt payload: surface, don't die
             return ("error", message[1],
                     f"feature decode failed: {type(exc).__name__}: {exc}")
-        return (message[0], message[1], features, message[3])
+        if traced:
+            get_tracer().emit("codec.decode", trace_id=message[1],
+                              ts=t_wall, duration_s=decode_s,
+                              attrs={"worker": worker_id,
+                                     "codec": encoded.codec,
+                                     "nbytes": int(encoded.nbytes)})
+        return (message[0], message[1], features, stats)
 
     def poll(self, timeout: float = 0.0) -> list[tuple[str, tuple]]:
         """Collect every reply that arrives within ``timeout`` seconds.

@@ -467,9 +467,22 @@ def _blocked_factory() -> ArrayBackend:
     return BlockedBackend()
 
 
+def _profiled_factory() -> ArrayBackend:
+    # Deferred: repro.obs imports this module.  Registered by name so
+    # REPRO_BACKEND=profiled reaches spawned worker processes too; the
+    # wrapped backend comes from REPRO_PROFILE_INNER (default numpy).
+    from ..obs.profile import ProfilingBackend
+
+    inner = os.environ.get("REPRO_PROFILE_INNER", "numpy")
+    if inner == "profiled":            # would recurse into this factory
+        inner = "numpy"
+    return ProfilingBackend(_resolve(inner))
+
+
 _REGISTRY: dict[str, Callable[[], ArrayBackend]] = {
     "numpy": NumpyBackend,
     "blocked": _blocked_factory,
+    "profiled": _profiled_factory,
 }
 _state = threading.local()
 

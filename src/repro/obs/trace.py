@@ -1,0 +1,318 @@
+"""Structured tracing: lightweight spans with cross-process propagation.
+
+A **span** is one named, wall-clock-anchored interval of work (a batch
+serve, a worker forward, a codec decode) tagged with a ``trace_id`` that
+joins every span of one request together across threads *and* processes.
+The serving stack emits spans when tracing is enabled and pays ~nothing
+when it is not: :func:`span` checks one module-level flag and returns a
+shared no-op context manager, so the disabled fast path is a single
+branch with no allocation.
+
+Timestamps are **wall clock** (``time.time()``), not ``perf_counter``:
+``perf_counter`` has an arbitrary per-process epoch, so spans recorded in
+a worker process could never be aligned with the server's on a shared
+timeline.  Durations are still measured with ``perf_counter`` for
+resolution; only the anchor is wall clock.
+
+Cross-process propagation works over the existing worker wire protocol:
+the server attaches a **trace context** (``{"trace_id", "parent_id"}``)
+to each ``infer`` message, the worker records its spans as plain dicts
+(:func:`span_dict` — no tracer object needed in the worker) and ships
+them back piggybacked on its reply, and :meth:`EdgeCluster.poll
+<repro.edge.runtime.EdgeCluster.poll>` merges them into the server-side
+collector.  A worker that receives no trace context records nothing, so
+enabling/disabling tracing in the server is the only switch.
+
+Collected spans live in a thread-safe ring buffer (:class:`Tracer`) and
+export through :mod:`repro.obs.export` (JSONL and Chrome-trace/Perfetto).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import os
+import threading
+import time
+from typing import Iterable
+
+TRACE_SCHEMA_VERSION = 1
+
+_SPAN_COUNTER = itertools.count(1)
+
+
+def new_span_id() -> str:
+    """A process-unique span id (pid-prefixed so worker ids never collide
+    with the server's)."""
+    return f"{os.getpid():x}-{next(_SPAN_COUNTER):x}"
+
+
+@dataclasses.dataclass
+class SpanRecord:
+    """One finished span: a named interval on a process/thread timeline."""
+
+    name: str                          # dotted taxonomy, e.g. "batch.gather"
+    trace_id: int | str | None         # joins all spans of one request
+    span_id: str
+    parent_id: str | None
+    process: str                       # "server" or the worker id
+    thread: str                        # recording thread's name
+    ts: float                          # wall-clock start (unix seconds)
+    duration_s: float
+    attrs: dict = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "SpanRecord":
+        return SpanRecord(name=str(data["name"]),
+                          trace_id=data.get("trace_id"),
+                          span_id=str(data["span_id"]),
+                          parent_id=data.get("parent_id"),
+                          process=str(data.get("process", "server")),
+                          thread=str(data.get("thread", "")),
+                          ts=float(data["ts"]),
+                          duration_s=float(data["duration_s"]),
+                          attrs=dict(data.get("attrs", {})))
+
+
+def span_dict(name: str, trace_id, span_id: str, parent_id: str | None,
+              process: str, ts: float, duration_s: float,
+              attrs: dict | None = None) -> dict:
+    """A span as a plain JSON-safe dict — the worker-side wire shape.
+
+    Workers build these without touching any tracer state and piggyback
+    them on their reply; the server re-hydrates them with
+    :meth:`Tracer.record_dicts`.
+    """
+    return {"name": name, "trace_id": trace_id, "span_id": span_id,
+            "parent_id": parent_id, "process": process,
+            "thread": threading.current_thread().name,
+            "ts": ts, "duration_s": duration_s, "attrs": dict(attrs or {})}
+
+
+class _LiveSpan:
+    """Context manager recording one span into a tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "trace_id", "parent_id", "span_id",
+                 "attrs", "_t0", "_ts")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.parent_id: str | None = None
+        self.span_id = new_span_id()
+        self.attrs = attrs
+
+    def set(self, key: str, value) -> None:
+        """Attach an attribute discovered mid-span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack()
+        if stack:
+            inherited_trace, parent = stack[-1]
+            if self.trace_id is None:
+                self.trace_id = inherited_trace
+            self.parent_id = parent
+        stack.append((self.trace_id, self.span_id))
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        stack = self._tracer._stack()
+        if stack and stack[-1][1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        self._tracer.emit(self.name, trace_id=self.trace_id,
+                          span_id=self.span_id, parent_id=self.parent_id,
+                          ts=self._ts, duration_s=duration,
+                          attrs=self.attrs)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the entire cost of disabled tracing."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Thread-safe ring-buffered span collector for one process.
+
+    The ring bound (``capacity``) keeps a long-lived traced server from
+    growing without limit — the oldest spans fall off, exactly like the
+    serving telemetry ring buffer.
+    """
+
+    def __init__(self, capacity: int = 65536, process: str = "server"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.process = process
+        self._lock = threading.Lock()
+        self._spans: list[SpanRecord] = []
+        self._start = 0                # ring: index of the oldest span
+        self._dropped = 0
+        self._local = threading.local()
+
+    # -- context stack (per thread) ------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_context(self) -> dict | None:
+        """The wire-shape trace context of the innermost open span."""
+        stack = self._stack()
+        if not stack:
+            return None
+        trace_id, span_id = stack[-1]
+        return {"trace_id": trace_id, "parent_id": span_id}
+
+    def activate(self, trace_id, parent_id: str | None = None) -> "_Activation":
+        """Adopt a propagated context so nested spans attach to it."""
+        return _Activation(self, trace_id, parent_id)
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, trace_id=None, **attrs) -> _LiveSpan:
+        return _LiveSpan(self, name, trace_id, attrs)
+
+    def emit(self, name: str, trace_id=None, span_id: str | None = None,
+             parent_id: str | None = None, ts: float | None = None,
+             duration_s: float = 0.0, process: str | None = None,
+             thread: str | None = None, attrs: dict | None = None,
+             ) -> SpanRecord:
+        """Record one already-measured span (retroactive emission).
+
+        The serving loop uses this to turn durations it measures anyway
+        (gather, fusion, per-request queueing) into spans without timing
+        anything twice.
+        """
+        record = SpanRecord(
+            name=name, trace_id=trace_id,
+            span_id=span_id or new_span_id(), parent_id=parent_id,
+            process=process or self.process,
+            thread=thread if thread is not None
+            else threading.current_thread().name,
+            ts=time.time() if ts is None else ts,
+            duration_s=duration_s, attrs=dict(attrs or {}))
+        self.record(record)
+        return record
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) < self.capacity:
+                self._spans.append(record)
+            else:                      # ring: overwrite the oldest
+                self._spans[self._start] = record
+                self._start = (self._start + 1) % self.capacity
+                self._dropped += 1
+
+    def record_dicts(self, spans: Iterable[dict]) -> None:
+        """Merge spans that crossed a process boundary as plain dicts."""
+        for data in spans:
+            self.record(SpanRecord.from_dict(data))
+
+    # -- inspection -----------------------------------------------------
+    def spans(self) -> list[SpanRecord]:
+        """All retained spans, oldest first."""
+        with self._lock:
+            return self._spans[self._start:] + self._spans[:self._start]
+
+    def drain(self) -> list[SpanRecord]:
+        """Return all retained spans and clear the buffer."""
+        with self._lock:
+            out = self._spans[self._start:] + self._spans[:self._start]
+            self._spans = []
+            self._start = 0
+            return out
+
+    def clear(self) -> None:
+        self.drain()
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring bound since the last construction."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class _Activation:
+    """Context manager installing a propagated trace context."""
+
+    __slots__ = ("_tracer", "_entry")
+
+    def __init__(self, tracer: Tracer, trace_id, parent_id: str | None):
+        self._tracer = tracer
+        self._entry = (trace_id, parent_id)
+
+    def __enter__(self) -> "_Activation":
+        self._tracer._stack().append(self._entry)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._entry:
+            stack.pop()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Global tracer: one switch for the whole process.  Hot paths branch on
+# ``tracing_enabled()`` (a module-global read) and skip all span work when
+# it is off.
+_enabled = False
+_tracer = Tracer()
+
+
+def enable_tracing(capacity: int = 65536, process: str = "server") -> Tracer:
+    """Turn on span collection; returns the fresh global tracer."""
+    global _enabled, _tracer
+    _tracer = Tracer(capacity=capacity, process=process)
+    _enabled = True
+    return _tracer
+
+
+def disable_tracing() -> None:
+    """Turn span collection off (already-collected spans stay readable)."""
+    global _enabled
+    _enabled = False
+
+
+def tracing_enabled() -> bool:
+    return _enabled
+
+
+def get_tracer() -> Tracer:
+    """The global tracer (its buffer survives :func:`disable_tracing`)."""
+    return _tracer
+
+
+def span(name: str, trace_id=None, **attrs):
+    """Open a span on the global tracer; a shared no-op when disabled."""
+    if not _enabled:
+        return NOOP_SPAN
+    return _tracer.span(name, trace_id=trace_id, **attrs)

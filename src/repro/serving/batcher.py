@@ -21,7 +21,13 @@ import time
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer, tracing_enabled
 from .telemetry import RequestTelemetry
+
+# Batch occupancy is small-integer valued; these bounds make the
+# histogram read as "how often did we flush at size <= N".
+BATCH_SAMPLES_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 class RequestError(RuntimeError):
@@ -102,6 +108,10 @@ class DynamicBatcher:
         self._queue: "queue.Queue[ServedFuture]" = queue.Queue(
             maxsize=self.config.queue_capacity)
         self._closed = threading.Event()
+        registry = get_registry()
+        self._queue_depth = registry.gauge("serving.queue_depth")
+        self._occupancy = registry.histogram("serving.batch_samples",
+                                             bounds=BATCH_SAMPLES_BOUNDS)
 
     # -- client side ----------------------------------------------------
     def submit(self, future: ServedFuture) -> None:
@@ -149,9 +159,11 @@ class DynamicBatcher:
             except queue.Empty:
                 if self._closed.is_set():
                     return None
+        form_wall = time.time()
+        form_t0 = time.perf_counter()
         requests = [first]
         num_samples = len(first.x)
-        deadline = time.perf_counter() + config.max_wait_s
+        deadline = form_t0 + config.max_wait_s
         while num_samples < config.max_batch_samples:
             remaining = deadline - time.perf_counter()
             if remaining <= 0 and self._queue.empty():
@@ -162,4 +174,13 @@ class DynamicBatcher:
                 break
             requests.append(nxt)
             num_samples += len(nxt.x)
+        self._queue_depth.set(self._queue.qsize())
+        self._occupancy.observe(num_samples)
+        if tracing_enabled():
+            # Batch formation belongs to the trace of the request that
+            # opened the batch (the one that waited for coalescing).
+            get_tracer().emit(
+                "batch.form", trace_id=first.request_id,
+                ts=form_wall, duration_s=time.perf_counter() - form_t0,
+                attrs={"requests": len(requests), "samples": num_samples})
         return Batch(requests=requests)

@@ -117,7 +117,8 @@ def run_load(server: InferenceServer, input_shape: tuple[int, ...],
 def _collect(server: InferenceServer, config: LoadgenConfig,
              futures: list[ServedFuture], dropped: int,
              wall_seconds: float, offered_rps: float,
-             records_before: int) -> LoadgenResult:
+             records_before: int,
+             started_at: float | None = None) -> LoadgenResult:
     latencies: list[float] = []
     errors = 0
     for future in futures:
@@ -139,7 +140,8 @@ def _collect(server: InferenceServer, config: LoadgenConfig,
         latencies_s=latencies,
         report=ServingReport.from_records(
             run_records, wall_seconds=wall_seconds,
-            worker_health=server.worker_health()),
+            worker_health=server.worker_health(),
+            started_at=started_at),
         futures=futures,
     )
 
@@ -150,6 +152,7 @@ def _run_open_loop(server: InferenceServer, config: LoadgenConfig,
     futures: list[ServedFuture] = []
     dropped = 0
     records_before = len(server.records())
+    started_at = time.time()
     start = time.perf_counter()
     next_arrival = start
     for _ in range(config.num_requests):
@@ -170,7 +173,7 @@ def _run_open_loop(server: InferenceServer, config: LoadgenConfig,
     wall = time.perf_counter() - start
     return _collect(server, config, futures, dropped, wall,
                     offered_rps=config.offered_rps,
-                    records_before=records_before)
+                    records_before=records_before, started_at=started_at)
 
 
 def _run_closed_loop(server: InferenceServer, config: LoadgenConfig,
@@ -201,6 +204,7 @@ def _run_closed_loop(server: InferenceServer, config: LoadgenConfig,
             except Exception:
                 pass                   # recorded as an error during collect
 
+    started_at = time.time()
     start = time.perf_counter()
     threads = [threading.Thread(target=client, args=(config.seed + i,),
                                 daemon=True)
@@ -212,7 +216,7 @@ def _run_closed_loop(server: InferenceServer, config: LoadgenConfig,
     wall = time.perf_counter() - start
     return _collect(server, config, futures, counter["dropped"], wall,
                     offered_rps=float("nan"),
-                    records_before=records_before)
+                    records_before=records_before, started_at=started_at)
 
 
 def sweep_offered_load(server: InferenceServer, input_shape: tuple[int, ...],

@@ -39,6 +39,8 @@ import numpy as np
 
 from ..core.inference import predict, split_batch
 from ..edge.runtime import EdgeCluster, WorkerSpec
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer, new_span_id, tracing_enabled
 from .batcher import (
     Batch,
     BatchingConfig,
@@ -90,6 +92,13 @@ class InferenceServer:
         self._inflight_hosts: set[str] = set()
         self._slot_dims: dict[str, int] = {}
         self._replan_attempted: set[str] = set()
+        self._started_wall: float | None = None
+        registry = get_registry()
+        self._m_requests = registry.counter("serving.requests_total")
+        self._m_dropped = registry.counter("serving.dropped_total")
+        self._m_failed = registry.counter("serving.failed_total")
+        self._m_degraded = registry.counter("serving.degraded_total")
+        self._m_swaps = registry.counter("serving.swaps_total")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -118,6 +127,7 @@ class InferenceServer:
         self._stopped_at = None
         self._health_snapshot = None
         self._started_at = time.perf_counter()
+        self._started_wall = time.time()
         self._thread = threading.Thread(target=self._serve_loop,
                                         name="repro-serving", daemon=True)
         self._thread.start()
@@ -176,19 +186,23 @@ class InferenceServer:
         if self._input_shape is not None and x.shape[1:] != self._input_shape:
             with self._lock:
                 self._dropped += 1
+            self._m_dropped.inc()
             raise RequestError(
                 f"bad request shape {x.shape[1:]}; this fleet serves "
                 f"samples of shape {self._input_shape}")
         telemetry = RequestTelemetry(request_id=self._cluster.next_request_id(),
                                      num_samples=len(x),
-                                     enqueued_at=time.perf_counter())
+                                     enqueued_at=time.perf_counter(),
+                                     enqueued_wall=time.time())
         future = ServedFuture(telemetry.request_id, x, telemetry)
         try:
             self._batcher.submit(future)
         except RequestError:
             with self._lock:
                 self._dropped += 1
+            self._m_dropped.inc()
             raise
+        self._m_requests.inc()
         return future
 
     def infer(self, x: np.ndarray, timeout: float | None = 60.0) -> np.ndarray:
@@ -264,6 +278,7 @@ class InferenceServer:
                 break
             time.sleep(min(0.002, self.config.poll_interval_s))
         self._cluster.mark_down(old, "retired by rolling swap")
+        self._m_swaps.inc()
         return spec.worker_id
 
     def worker_health(self) -> dict[str, str]:
@@ -283,12 +298,14 @@ class InferenceServer:
         with self._lock:
             return list(self._records)
 
-    def stats(self) -> ServingReport:
+    def stats(self, include_metrics: bool = False) -> ServingReport:
         end = self._stopped_at if self._stopped_at is not None \
             else time.perf_counter()
+        metrics = get_registry().snapshot() if include_metrics else None
         return ServingReport.from_records(
             self.records(), wall_seconds=end - self._started_at,
-            worker_health=self.worker_health())
+            worker_health=self.worker_health(),
+            started_at=self._started_wall, metrics=metrics)
 
     def _record(self, telemetry: RequestTelemetry) -> None:
         with self._lock:
@@ -308,12 +325,34 @@ class InferenceServer:
                     future.telemetry.completed_at = now
                     future.set_error(RequestError(f"serving failed: {exc}"))
                     self._record(future.telemetry)
+                self._m_failed.inc(len(batch.requests))
             finally:
                 with self._hosting_lock:
                     self._inflight_hosts = set()
 
+    def _trace_requests(self, batch: Batch, batch_id: int) -> None:
+        """Retroactively emit per-request spans from telemetry the serve
+        path measured anyway (no double timing)."""
+        tracer = get_tracer()
+        for future in batch.requests:
+            t = future.telemetry
+            root = new_span_id()
+            attrs = {"batch_id": batch_id, "samples": t.num_samples}
+            if t.degraded:
+                attrs["degraded"] = True
+            if t.error is not None:
+                attrs["error"] = t.error
+            tracer.emit("request", trace_id=t.request_id, span_id=root,
+                        ts=t.enqueued_wall, duration_s=t.total_s,
+                        attrs=attrs)
+            tracer.emit("request.queue", trace_id=t.request_id,
+                        parent_id=root, ts=t.enqueued_wall,
+                        duration_s=t.queue_s)
+
     def _serve_batch(self, batch: Batch) -> None:
+        traced = tracing_enabled()
         dispatched_at = time.perf_counter()
+        dispatched_wall = time.time()
         for future in batch.requests:
             telemetry = future.telemetry
             telemetry.dispatched_at = dispatched_at
@@ -331,13 +370,20 @@ class InferenceServer:
             self._inflight_hosts = set(hosting.values())
 
         # Scatter to every live hosting worker under one shared request id.
+        # The batch span id is minted *before* dispatch so worker-process
+        # spans can parent to it via the propagated trace context; the
+        # span itself is emitted retroactively once the batch resolves.
         request_id = self._cluster.next_request_id()
+        batch_span_id = new_span_id() if traced else None
+        trace_ctx = {"trace_id": request_id,
+                     "parent_id": batch_span_id} if traced else None
         hosts = sorted(set(hosting.values()))
         pending: set[str] = set()
         for worker_id in hosts:
             # submit() detects dead processes / closed pipes itself and
             # marks the worker down, so no liveness pre-check here.
-            if self._cluster.submit(worker_id, request_id, x):
+            if self._cluster.submit(worker_id, request_id, x,
+                                    trace=trace_ctx):
                 pending.add(worker_id)
         bytes_out = x.nbytes * len(pending)
         if not pending:
@@ -349,6 +395,9 @@ class InferenceServer:
                 future.telemetry.workers_down = tuple(self._slots)
                 future.set_error(RequestError("no live workers"))
                 self._record(future.telemetry)
+            self._m_failed.inc(len(batch.requests))
+            if traced:
+                self._trace_requests(batch, request_id)
             self._maybe_replan()
             return
 
@@ -396,6 +445,9 @@ class InferenceServer:
                 future.set_error(RequestError(
                     "no worker produced features for this batch"))
                 self._record(future.telemetry)
+            self._m_failed.inc(len(batch.requests))
+            if traced:
+                self._trace_requests(batch, request_id)
             return
 
         # Degraded fusion: zero-fill the feature slot of every sub-model
@@ -441,6 +493,26 @@ class InferenceServer:
             telemetry.workers_down = missing
             future.set_result(chunk.copy())
             self._record(telemetry)
+        if missing:
+            self._m_degraded.inc(len(batch.requests))
+
+        if traced:
+            tracer = get_tracer()
+            tracer.emit("batch.serve", trace_id=request_id,
+                        span_id=batch_span_id, ts=dispatched_wall,
+                        duration_s=completed_at - dispatched_at,
+                        attrs={"requests": len(batch.requests),
+                               "samples": batch.num_samples,
+                               "workers": len(hosts),
+                               "degraded": bool(missing)})
+            tracer.emit("batch.gather", trace_id=request_id,
+                        parent_id=batch_span_id, ts=dispatched_wall,
+                        duration_s=gather_s)
+            tracer.emit("batch.fusion", trace_id=request_id,
+                        parent_id=batch_span_id,
+                        ts=dispatched_wall + (fusion_start - dispatched_at),
+                        duration_s=fusion_s)
+            self._trace_requests(batch, request_id)
 
         # Degraded answers went out above; now try to recover the failed
         # slots so the *next* batch fuses real features again.

@@ -15,6 +15,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+# Version stamp on every exported report dict; bump on breaking shape
+# changes so downstream consumers of `repro serve --json` can dispatch.
+SERVING_SCHEMA_VERSION = 1
+
 
 def percentile(values: Sequence[float], q: float) -> float | None:
     """Linear-interpolated percentile (``q`` in [0, 100]); None when empty.
@@ -44,6 +48,7 @@ class RequestTelemetry:
     request_id: int
     num_samples: int                   # images in this request
     enqueued_at: float                 # perf_counter timestamps
+    enqueued_wall: float = 0.0         # wall clock (unix s): aligns spans
     dispatched_at: float = 0.0
     completed_at: float = 0.0
     batch_requests: int = 0            # requests coalesced into its batch
@@ -92,47 +97,81 @@ class ServingReport:
     wire_bytes_out: int = 0            # total input bytes scattered
     wire_bytes_in: int = 0             # total encoded feature bytes gathered
     effective_bw_mbps: float = 0.0     # gathered wire Mbit per wall second
+    started_at: float | None = None    # wall clock (unix s) the window began
+    metrics: dict | None = None        # registry snapshot, when requested
+
+    # Packed column layout for the single-pass aggregation below.
+    _COLS = ("total", "queue", "gather", "fusion", "samples",
+             "batch_requests", "bytes_out", "bytes_in", "ok", "degraded")
 
     @staticmethod
     def from_records(records: Iterable[RequestTelemetry],
                      wall_seconds: float,
                      worker_health: dict[str, str] | None = None,
+                     started_at: float | None = None,
+                     metrics: dict | None = None,
                      ) -> "ServingReport":
+        # One python pass packs every record into a (n, 10) float64 matrix;
+        # all aggregation (masking, sums, means, percentiles) then runs as
+        # numpy column reductions.  At loadgen scale this path executes per
+        # report per rate point, so it must not re-walk the records once
+        # per field.
         records = list(records)
-        done = [r for r in records if r.error is None]
-        failed = len(records) - len(done)
-        totals = [r.total_s for r in done]
-        samples = sum(r.num_samples for r in done)
+        n = len(records)
+        cols = np.empty((n, len(ServingReport._COLS)), dtype=np.float64)
+        for i, r in enumerate(records):
+            cols[i] = (r.completed_at - r.enqueued_at, r.queue_s, r.gather_s,
+                       r.fusion_s, r.num_samples, r.batch_requests,
+                       r.bytes_out, r.bytes_in, r.error is None, r.degraded)
+        ok = cols[:, 8].astype(bool) if n else np.zeros(0, dtype=bool)
+        done = cols[ok]
+        completed = int(done.shape[0])
+        failed = n - completed
         wall = max(wall_seconds, 1e-12)
 
-        def mean(values: list[float]) -> float | None:
-            return sum(values) / len(values) if values else None
+        if completed:
+            totals = done[:, 0]
+            p50, p95, p99 = (float(v) for v in
+                             np.percentile(totals, (50, 95, 99)))
+            means = done[:, :4].mean(axis=0)
+            lat_mean, queue_mean, gather_mean, fusion_mean = \
+                (float(v) for v in means)
+            batch_mean = float(done[:, 5].mean())
+        else:
+            p50 = p95 = p99 = lat_mean = None
+            queue_mean = gather_mean = fusion_mean = batch_mean = None
+        sums = done[:, (4, 6, 7, 9)].sum(axis=0) if completed else \
+            np.zeros(4)
+        samples, wire_out, wire_in, degraded = (float(v) for v in sums)
 
-        wire_in = sum(r.bytes_in for r in done)
         return ServingReport(
-            completed=len(done),
+            completed=completed,
             failed=failed,
             wall_seconds=wall_seconds,
-            throughput_rps=len(done) / wall,
+            throughput_rps=completed / wall,
             throughput_sps=samples / wall,
-            latency_p50_s=percentile(totals, 50),
-            latency_p95_s=percentile(totals, 95),
-            latency_p99_s=percentile(totals, 99),
-            latency_mean_s=mean(totals),
-            queue_mean_s=mean([r.queue_s for r in done]),
-            gather_mean_s=mean([r.gather_s for r in done]),
-            fusion_mean_s=mean([r.fusion_s for r in done]),
-            mean_batch_requests=mean([float(r.batch_requests) for r in done]),
-            degraded_requests=sum(1 for r in done if r.degraded),
+            latency_p50_s=p50,
+            latency_p95_s=p95,
+            latency_p99_s=p99,
+            latency_mean_s=lat_mean,
+            queue_mean_s=queue_mean,
+            gather_mean_s=gather_mean,
+            fusion_mean_s=fusion_mean,
+            mean_batch_requests=batch_mean,
+            degraded_requests=int(degraded),
             worker_health=dict(worker_health or {}),
-            wire_bytes_out=sum(r.bytes_out for r in done),
-            wire_bytes_in=wire_in,
+            wire_bytes_out=int(wire_out),
+            wire_bytes_in=int(wire_in),
             effective_bw_mbps=wire_in * 8 / 1e6 / wall,
+            started_at=started_at,
+            metrics=metrics,
         )
 
     def to_dict(self) -> dict:
         """JSON-serializable view (empty-window stats are ``null``)."""
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        data["schema_version"] = SERVING_SCHEMA_VERSION
+        return data
 
     def row(self) -> dict:
         """One flat dict, ready for :func:`repro.core.metrics.format_table`."""

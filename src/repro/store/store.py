@@ -40,6 +40,8 @@ from ..nn.serialization import (
     save_checkpoint,
     state_dict_to_bytes,
 )
+from ..obs.metrics import get_registry
+from ..obs.trace import span
 
 MANIFEST_NAME = "manifest.json"
 OBJECTS_DIR = "objects"
@@ -184,6 +186,12 @@ class ArtifactStore:
         self._manifest_path = self.root / MANIFEST_NAME
         self._artifacts: dict[str, ArtifactInfo] = {}
         self._load_manifest()
+        registry = get_registry()
+        self._m_hits = registry.counter("store.hits_total")
+        self._m_misses = registry.counter("store.misses_total")
+        self._m_evicted = registry.counter("store.gc_evicted_total")
+        self._m_get_s = registry.histogram("store.get_seconds")
+        self._m_put_s = registry.histogram("store.put_seconds")
 
     # -- manifest ------------------------------------------------------
     def _load_manifest(self) -> None:
@@ -227,7 +235,13 @@ class ArtifactStore:
         return self.has(digest)
 
     def has(self, digest: str) -> bool:
-        return digest in self._artifacts and self.object_path(digest).exists()
+        present = digest in self._artifacts \
+            and self.object_path(digest).exists()
+        if not present:
+            # Every miss here is a cold rebuild decision (warm_load probes
+            # via has()), which is exactly the cache-efficiency signal.
+            self._m_misses.inc()
+        return present
 
     def info(self, digest: str) -> ArtifactInfo:
         try:
@@ -254,13 +268,17 @@ class ArtifactStore:
         artifact alone suffices to rebuild the module; ``meta`` is
         free-form JSON shown by ``ls`` (e.g. the full rebuild recipe).
         """
-        path = save_checkpoint(model, self.object_path(digest), config=config)
-        now = time.time()
-        self._artifacts[digest] = ArtifactInfo(
-            digest=digest, kind=kind, nbytes=path.stat().st_size,
-            content_sha256=_file_sha256(path), created_at=now,
-            last_used_at=now, meta=dict(meta or {}))
-        self._save_manifest()
+        t0 = time.perf_counter()
+        with span("store.put", digest=digest[:12], kind=kind):
+            path = save_checkpoint(model, self.object_path(digest),
+                                   config=config)
+            now = time.time()
+            self._artifacts[digest] = ArtifactInfo(
+                digest=digest, kind=kind, nbytes=path.stat().st_size,
+                content_sha256=_file_sha256(path), created_at=now,
+                last_used_at=now, meta=dict(meta or {}))
+            self._save_manifest()
+        self._m_put_s.observe(time.perf_counter() - t0)
         return self._artifacts[digest]
 
     def remove(self, digest: str) -> None:
@@ -294,13 +312,17 @@ class ArtifactStore:
         serving volume) must still warm-boot, so a failed manifest write
         only costs LRU freshness, never the load.
         """
-        info = self.verify(digest)
-        state, config = load_checkpoint(self.object_path(digest))
-        info.last_used_at = time.time()
-        try:
-            self._save_manifest()
-        except OSError:
-            pass                       # read-only store: skip the LRU bump
+        t0 = time.perf_counter()
+        with span("store.get", digest=digest[:12]):
+            info = self.verify(digest)
+            state, config = load_checkpoint(self.object_path(digest))
+            info.last_used_at = time.time()
+            try:
+                self._save_manifest()
+            except OSError:
+                pass                   # read-only store: skip the LRU bump
+        self._m_hits.inc()
+        self._m_get_s.observe(time.perf_counter() - t0)
         return state, config
 
     def state_blob(self, digest: str) -> bytes:
@@ -327,26 +349,29 @@ class ArtifactStore:
         evicted digests, oldest first.
         """
         evicted: list[str] = []
-        # Oldest-used first; pinned digests are never candidates.
-        candidates = [info.digest for info in reversed(self.ls())
-                      if info.digest not in keep]
+        with span("store.gc") as gc_span:
+            # Oldest-used first; pinned digests are never candidates.
+            candidates = [info.digest for info in reversed(self.ls())
+                          if info.digest not in keep]
 
-        def over_budget() -> bool:
-            if max_artifacts is not None and len(self) > max_artifacts:
-                return True
-            if max_bytes is not None and self.total_bytes > max_bytes:
-                return True
-            return False
+            def over_budget() -> bool:
+                if max_artifacts is not None and len(self) > max_artifacts:
+                    return True
+                if max_bytes is not None and self.total_bytes > max_bytes:
+                    return True
+                return False
 
-        for digest in candidates:
-            if not over_budget():
-                break
-            self._artifacts.pop(digest, None)
-            try:
-                self.object_path(digest).unlink()
-            except FileNotFoundError:
-                pass
-            evicted.append(digest)
-        if evicted:
-            self._save_manifest()
+            for digest in candidates:
+                if not over_budget():
+                    break
+                self._artifacts.pop(digest, None)
+                try:
+                    self.object_path(digest).unlink()
+                except FileNotFoundError:
+                    pass
+                evicted.append(digest)
+            if evicted:
+                self._save_manifest()
+                self._m_evicted.inc(len(evicted))
+            gc_span.set("evicted", len(evicted))
         return evicted

@@ -1,0 +1,162 @@
+"""Tracing unit tests: spans, propagation, ring buffer, global switch."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    new_span_id,
+    span,
+    span_dict,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestSpanIds:
+    def test_unique_and_pid_prefixed(self):
+        import os
+        ids = {new_span_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith(f"{os.getpid():x}-") for i in ids)
+
+
+class TestGlobalSwitch:
+    def test_disabled_span_is_shared_noop(self):
+        assert not tracing_enabled()
+        s = span("anything", foo=1)
+        assert s is NOOP_SPAN
+        with s as inner:
+            inner.set("key", "value")   # must be a silent no-op
+
+    def test_enable_returns_fresh_tracer(self):
+        first = enable_tracing()
+        with span("a"):
+            pass
+        second = enable_tracing()
+        assert second is get_tracer() and second is not first
+        assert len(second) == 0 and len(first) == 1
+
+    def test_disable_keeps_spans_readable(self):
+        enable_tracing()
+        with span("kept"):
+            pass
+        disable_tracing()
+        assert [s.name for s in get_tracer().spans()] == ["kept"]
+        assert span("dropped") is NOOP_SPAN
+
+
+class TestLiveSpans:
+    def test_records_name_timing_attrs(self):
+        tracer = enable_tracing()
+        with span("work", trace_id=7, size=3) as live:
+            live.set("extra", True)
+        (record,) = tracer.spans()
+        assert record.name == "work" and record.trace_id == 7
+        assert record.attrs == {"size": 3, "extra": True}
+        assert record.process == "server"
+        assert record.duration_s >= 0 and record.ts > 0
+        assert record.parent_id is None
+
+    def test_nesting_sets_parent_and_inherits_trace(self):
+        tracer = enable_tracing()
+        with span("outer", trace_id=42) as outer:
+            with span("inner"):
+                pass
+        inner, recorded_outer = tracer.spans()
+        assert recorded_outer.span_id == outer.span_id
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == 42      # inherited from the open parent
+
+    def test_exception_captured_and_reraised(self):
+        tracer = enable_tracing()
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("bad")
+        (record,) = tracer.spans()
+        assert record.attrs["error"] == "ValueError: bad"
+
+    def test_stacks_are_per_thread(self):
+        tracer = enable_tracing()
+        seen = {}
+
+        def other():
+            with span("thread-span") as s:
+                seen["parent"] = s.parent_id
+
+        with span("main-span"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        # The other thread must NOT parent onto this thread's open span.
+        assert seen["parent"] is None
+        assert len(tracer.spans()) == 2
+
+
+class TestPropagation:
+    def test_activate_adopts_remote_context(self):
+        tracer = enable_tracing()
+        with tracer.activate("trace-9", "remote-span"):
+            with span("child"):
+                pass
+        (child,) = tracer.spans()
+        assert child.trace_id == "trace-9"
+        assert child.parent_id == "remote-span"
+
+    def test_current_context_wire_shape(self):
+        tracer = enable_tracing()
+        assert tracer.current_context() is None
+        with span("open", trace_id=5) as live:
+            assert tracer.current_context() == \
+                {"trace_id": 5, "parent_id": live.span_id}
+
+    def test_span_dict_roundtrip(self):
+        tracer = enable_tracing()
+        wire = span_dict("worker.forward", 3, "w-1", "s-1", "w0",
+                         1000.0, 0.25, {"samples": 4})
+        tracer.record_dicts([wire])
+        (record,) = tracer.spans()
+        assert isinstance(record, SpanRecord)
+        assert record.process == "w0" and record.parent_id == "s-1"
+        assert record.ts == 1000.0 and record.duration_s == 0.25
+        assert record.attrs == {"samples": 4}
+
+
+class TestRingBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_overflow_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.emit(f"s{i}")
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_drain_empties_buffer(self):
+        tracer = Tracer()
+        tracer.emit("a")
+        tracer.emit("b")
+        assert [s.name for s in tracer.drain()] == ["a", "b"]
+        assert len(tracer) == 0 and tracer.spans() == []
+
+    def test_emit_defaults(self):
+        tracer = Tracer(process="w3")
+        record = tracer.emit("x")
+        assert record.process == "w3"
+        assert record.span_id and record.parent_id is None
+        assert record.ts > 0 and record.duration_s == 0.0

@@ -1,0 +1,85 @@
+"""Artifact-store observability: hit/miss/eviction metrics and spans."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.obs import disable_tracing, enable_tracing, get_registry, get_tracer
+from repro.store import ArtifactStore, recipe_digest
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def small_model(seed: int = 0) -> nn.Module:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(4, 8, rng=rng), nn.Linear(8, 3, rng=rng))
+
+
+def counter_value(name):
+    return get_registry().counter(name).value
+
+
+class TestStoreMetrics:
+    def test_miss_then_hit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = recipe_digest({"seed": 0})
+        misses = counter_value("store.misses_total")
+        hits = counter_value("store.hits_total")
+        assert not store.has(digest)
+        assert counter_value("store.misses_total") == misses + 1
+        store.put(digest, small_model())
+        assert store.has(digest)       # present: not a miss
+        assert counter_value("store.misses_total") == misses + 1
+        store.get(digest)
+        assert counter_value("store.hits_total") == hits + 1
+
+    def test_latency_histograms_fill(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = recipe_digest({"seed": 1})
+        puts = get_registry().histogram("store.put_seconds").count
+        gets = get_registry().histogram("store.get_seconds").count
+        store.put(digest, small_model())
+        store.get(digest)
+        assert get_registry().histogram("store.put_seconds").count == \
+            puts + 1
+        assert get_registry().histogram("store.get_seconds").count == \
+            gets + 1
+
+    def test_gc_eviction_counter(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for seed in range(3):
+            store.put(recipe_digest({"seed": seed}), small_model(seed))
+        evicted_before = counter_value("store.gc_evicted_total")
+        evicted = store.gc(max_artifacts=1)
+        assert len(evicted) == 2
+        assert counter_value("store.gc_evicted_total") == \
+            evicted_before + 2
+
+
+class TestStoreSpans:
+    def test_put_get_gc_emit_spans(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = recipe_digest({"seed": 0})
+        enable_tracing()
+        store.put(digest, small_model(), kind="mlp")
+        store.get(digest)
+        store.gc(max_artifacts=0)
+        names = [s.name for s in get_tracer().spans()]
+        assert names == ["store.put", "store.get", "store.gc"]
+        put, get, gc = get_tracer().spans()
+        assert put.attrs["digest"] == digest[:12]
+        assert put.attrs["kind"] == "mlp"
+        assert gc.attrs["evicted"] == 1
+
+    def test_no_spans_when_disabled(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        enable_tracing()
+        get_tracer().clear()
+        disable_tracing()
+        store.put(recipe_digest({"seed": 0}), small_model())
+        assert len(get_tracer()) == 0

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.serving",
     "repro.planning",
     "repro.store",
+    "repro.obs",
 ]
 
 MODULES = SUBPACKAGES + [
@@ -49,6 +50,8 @@ MODULES = SUBPACKAGES + [
     "repro.planning.plan", "repro.planning.planner", "repro.planning.replan",
     "repro.planning.execute",
     "repro.store.store",
+    "repro.obs.trace", "repro.obs.metrics", "repro.obs.profile",
+    "repro.obs.export",
     "repro.cli",
 ]
 
