@@ -1,0 +1,121 @@
+"""Baseline I/O: accepted pre-existing findings, committed to the repo.
+
+The baseline is a JSON file of finding fingerprints with human context
+(rule, file, message, and a ``reason`` explaining *why* the finding is
+accepted).  ``repro check`` compares a fresh scan against it:
+
+* **new** — findings with no matching baseline entry: the check fails;
+* **baselined** — findings covered by an entry: reported, not fatal;
+* **stale** — entries that no longer match any finding: the suppressed
+  pattern was fixed (or the message drifted).  ``--strict`` fails on
+  stale entries so the baseline can only shrink deliberately
+  (``--update-baseline``), never rot.
+
+Matching is by multiset: two identical findings (same rule, file, and
+message — e.g. the same double-checked read twice in one method) need
+two baseline entries.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+from pathlib import Path
+
+from .finding import Finding
+
+BASELINE_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule_id: str = ""
+    file: str = ""
+    message: str = ""
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {"fingerprint": self.fingerprint,
+                "rule_id": self.rule_id,
+                "file": self.file,
+                "message": self.message,
+                "reason": self.reason}
+
+
+@dataclasses.dataclass
+class Comparison:
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[BaselineEntry]
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+def load_baseline(path: str | Path) -> list[BaselineEntry]:
+    """Entries from ``path``; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) \
+            or data.get("format_version") != BASELINE_FORMAT_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format_version "
+            f"{data.get('format_version') if isinstance(data, dict) else data!r}")
+    entries = []
+    for raw in data.get("entries", []):
+        if "fingerprint" not in raw:
+            raise BaselineError(f"baseline {path}: entry missing fingerprint")
+        entries.append(BaselineEntry(
+            fingerprint=str(raw["fingerprint"]),
+            rule_id=str(raw.get("rule_id", "")),
+            file=str(raw.get("file", "")),
+            message=str(raw.get("message", "")),
+            reason=str(raw.get("reason", ""))))
+    return entries
+
+
+def save_baseline(path: str | Path, findings: list[Finding],
+                  previous: list[BaselineEntry] | None = None) -> None:
+    """Write ``findings`` as the new baseline, carrying over the ``reason``
+    text of any previous entry with the same fingerprint."""
+    reasons: dict[str, str] = {}
+    for entry in previous or []:
+        if entry.reason and entry.fingerprint not in reasons:
+            reasons[entry.fingerprint] = entry.reason
+    entries = [BaselineEntry(fingerprint=f.fingerprint, rule_id=f.rule_id,
+                             file=f.file, message=f.message,
+                             reason=reasons.get(f.fingerprint, ""))
+               for f in findings]
+    payload = {"format_version": BASELINE_FORMAT_VERSION,
+               "entries": [e.to_dict() for e in entries]}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8")
+
+
+def compare(findings: list[Finding],
+            entries: list[BaselineEntry]) -> Comparison:
+    """Split findings into new/baselined and entries into used/stale."""
+    budget = collections.Counter(e.fingerprint for e in entries)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        if budget.get(finding.fingerprint, 0) > 0:
+            budget[finding.fingerprint] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale: list[BaselineEntry] = []
+    for entry in entries:
+        if budget.get(entry.fingerprint, 0) > 0:
+            budget[entry.fingerprint] -= 1
+            stale.append(entry)
+    return Comparison(new=new, baselined=baselined, stale=stale)

@@ -1,0 +1,77 @@
+"""Scan driver: parse, run rules, compare against the baseline.
+
+``run_check`` is the single entry point used by the CLI, the CI gate,
+and the analyzer's own tests (which feed it fixture projects instead of
+the real tree).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .baseline import Comparison, compare, load_baseline
+from .finding import Finding, sort_findings
+from .project import Project
+from .registry import make_rules
+
+# The id given to files the parser itself rejects.
+SYNTAX_RULE_ID = "SYNTAX001"
+
+BASELINE_FILENAME = "analysis-baseline.json"
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the canonical scan root)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_baseline_path(root: Path | None = None) -> Path:
+    """Locate the committed baseline next to the scanned tree.
+
+    With the standard ``src/repro`` layout the baseline lives at the
+    repository root (two levels above the package); fall back to the
+    current directory so ad-hoc checkouts still resolve a stable path
+    for ``--update-baseline`` to create.
+    """
+    root = root or default_root()
+    candidates = [root.parent.parent / BASELINE_FILENAME,
+                  Path.cwd() / BASELINE_FILENAME]
+    for candidate in candidates:
+        if candidate.exists():
+            return candidate
+    return candidates[0]
+
+
+def run_check(root: str | Path | None = None,
+              project: Project | None = None,
+              rule_names: list[str] | None = None) -> list[Finding]:
+    """Run the selected rules and return sorted findings.
+
+    Unparseable files surface as ``SYNTAX001`` findings rather than
+    aborting — a broken file must fail the check, not crash it.
+    """
+    if project is None:
+        project = Project.from_path(root or default_root())
+    findings = [Finding(SYNTAX_RULE_ID, "error", failure.path, failure.line,
+                        f"file does not parse: {failure.message}",
+                        hint="fix the syntax error; nothing else was "
+                             "checked in this file")
+                for failure in project.failures]
+    for rule in make_rules(rule_names):
+        findings.extend(rule.check_project(project))
+    return sort_findings(findings)
+
+
+def check_against_baseline(root: str | Path | None = None,
+                           project: Project | None = None,
+                           rule_names: list[str] | None = None,
+                           baseline_path: str | Path | None = None,
+                           ) -> Comparison:
+    """``run_check`` + baseline comparison in one call."""
+    findings = run_check(root=root, project=project, rule_names=rule_names)
+    if baseline_path is None:
+        scan_root = project.root if project is not None else None
+        baseline_path = default_baseline_path(
+            Path(root).resolve() if root is not None else scan_root)
+    entries = load_baseline(baseline_path)
+    return compare(findings, entries)

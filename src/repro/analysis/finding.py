@@ -1,0 +1,57 @@
+"""The unit of static-analysis output: one :class:`Finding`.
+
+A finding's **fingerprint** deliberately excludes the line number: the
+baseline must keep matching an accepted finding when unrelated edits
+shift it a few lines, and must stop matching (surface as *new*) when the
+finding itself changes — rule, file, or message.  Rules therefore keep
+messages stable and line-free (method/attribute names, not positions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    rule_id: str                       # e.g. "LOCK001"
+    severity: str                      # "error" | "warning"
+    file: str                          # posix path relative to the scan root
+    line: int                          # 1-based; 0 for project-level findings
+    message: str
+    hint: str = ""
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}; "
+                             f"choose from {SEVERITIES}")
+
+    @property
+    def fingerprint(self) -> str:
+        raw = f"{self.rule_id}|{self.file}|{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {"rule_id": self.rule_id,
+                "severity": self.severity,
+                "file": self.file,
+                "line": self.line,
+                "message": self.message,
+                "hint": self.hint,
+                "fingerprint": self.fingerprint}
+
+    def render(self, root: str | None = None) -> str:
+        prefix = f"{root}/{self.file}" if root else self.file
+        text = (f"{prefix}:{self.line}: {self.rule_id} "
+                f"{self.severity}: {self.message}")
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings,
+                  key=lambda f: (f.file, f.line, f.rule_id, f.message))

@@ -1,0 +1,100 @@
+"""Parsed-source model shared by every rule.
+
+A :class:`Project` is the per-module AST forest plus a light symbol
+table: module lookup by dotted name, class definitions across modules,
+and the source text (for context in future rules).  Rules never touch
+the filesystem — they see only this object, which is also how fixture
+tests feed them synthetic modules (:meth:`Project.from_sources`).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    name: str                          # dotted module name, e.g. "repro.edge.wire"
+    path: str                          # posix path relative to the scan root
+    source: str
+    tree: ast.Module
+
+
+@dataclasses.dataclass(frozen=True)
+class ParseFailure:
+    path: str
+    line: int
+    message: str
+
+
+class Project:
+    """All modules under one scan root, parsed once."""
+
+    def __init__(self, modules: list[ModuleInfo],
+                 failures: list[ParseFailure] | None = None,
+                 root: Path | None = None):
+        self.modules = modules
+        self.failures = failures or []
+        self.root = root
+        self._by_name = {m.name: m for m in modules}
+
+    def module(self, name: str) -> ModuleInfo | None:
+        return self._by_name.get(name)
+
+    def iter_classes(self):
+        """Yield ``(module, ast.ClassDef)`` for every class in the project."""
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield module, node
+
+    @classmethod
+    def from_path(cls, root: str | Path) -> "Project":
+        """Parse every ``*.py`` under ``root`` (a package directory).
+
+        Module names are rooted at the directory's own name, so scanning
+        ``src/repro`` yields ``repro``, ``repro.cli``, ``repro.edge.wire``
+        and so on.  Files that fail to parse become
+        :class:`ParseFailure` entries instead of aborting the scan.
+        """
+        root = Path(root).resolve()
+        if not root.is_dir():
+            raise NotADirectoryError(f"scan root {root} is not a directory")
+        modules: list[ModuleInfo] = []
+        failures: list[ParseFailure] = []
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root)
+            if "__pycache__" in rel.parts:
+                continue
+            rel_posix = rel.as_posix()
+            parts = list(rel.with_suffix("").parts)
+            if parts[-1] == "__init__":
+                parts.pop()
+            name = ".".join([root.name, *parts])
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=rel_posix)
+            except SyntaxError as exc:
+                failures.append(ParseFailure(rel_posix, exc.lineno or 1,
+                                             exc.msg or "syntax error"))
+                continue
+            modules.append(ModuleInfo(name, rel_posix, source, tree))
+        return cls(modules, failures, root=root)
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "Project":
+        """In-memory project for fixture tests: ``{dotted_name: source}``."""
+        modules: list[ModuleInfo] = []
+        failures: list[ParseFailure] = []
+        for name, source in sources.items():
+            path = name.replace(".", "/") + ".py"
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                failures.append(ParseFailure(path, exc.lineno or 1,
+                                             exc.msg or "syntax error"))
+                continue
+            modules.append(ModuleInfo(name, path, source, tree))
+        return cls(modules, failures, root=None)

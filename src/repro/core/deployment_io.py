@@ -47,7 +47,8 @@ def save_system(system: EDViTSystem, directory: str | Path) -> Path:
         "residual_energy": {k: float(v) for k, v
                             in system.plan.residual_energy.items()},
     }
-    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, allow_nan=False))
     return directory
 
 

@@ -23,7 +23,8 @@ blocks on a dead worker: every receive goes through poll-with-timeout plus
 a worker-liveness check, and failures surface as the typed
 :class:`WorkerFailure` instead of a hang.
 
-Messages parent -> worker::
+Messages parent -> worker (built/read only via :mod:`repro.edge.wire`,
+which owns the protocol's shape table)::
 
     ("infer", request_id, x[, trace])   # run forward_features over x
     ("stop",)                           # drain and exit
@@ -31,6 +32,7 @@ Messages parent -> worker::
 Messages worker -> parent::
 
     ("ready", worker_id)                        # once, after model build
+    ("failed", worker_id, detail)               # startup failure
     ("features", request_id, encoded, stats)    # per-request success
     ("error", request_id | None, message)       # per-request failure
     ("stopped", worker_id)                      # reply to "stop"
@@ -63,6 +65,7 @@ from ..obs.trace import get_tracer, new_span_id, span_dict, tracing_enabled
 from ..models.snn import ConvSNN, SNNConfig
 from ..models.vgg import VGG, VGGConfig
 from ..models.vit import ViTConfig, VisionTransformer
+from . import wire
 from .codec import EncodedFeatures, get_codec
 from .device import DeviceModel
 from .network import LinkModel, tc_capped_link
@@ -231,29 +234,31 @@ def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
         codec = get_codec(spec.codec)
     except Exception as exc:
         try:
-            conn.send(("failed", spec.worker_id,
-                       f"{type(exc).__name__}: {exc}"))
+            conn.send(wire.failed_message(spec.worker_id,
+                                          f"{type(exc).__name__}: {exc}"))
         except (BrokenPipeError, OSError):
             pass
         return
-    conn.send(("ready", spec.worker_id))
+    conn.send(wire.ready_message(spec.worker_id))
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
             return                     # parent went away; nothing to reply to
-        command = message[0]
-        if command == "stop":
-            conn.send(("stopped", spec.worker_id))
+        command = wire.command(message)
+        if command == wire.STOP:
+            conn.send(wire.stopped_message(spec.worker_id))
             return
-        if command != "infer":
-            conn.send(("error", None, f"unknown command {command!r}"))
+        if command != wire.INFER:
+            conn.send(wire.error_message(
+                None, f"unknown command {command!r}"))
             continue
-        request_id, x = message[1], message[2]
+        request_id = wire.request_id(message)
+        x = wire.payload(message)
         # Propagated trace context (absent when tracing is off server-side
         # or the parent predates the field): its presence is the worker's
         # only tracing switch.
-        trace = message[3] if len(message) > 3 else None
+        trace = wire.trace_context(message)
         try:
             wall_anchor = time.time()
             wall_start = time.perf_counter()
@@ -308,9 +313,10 @@ def _worker_main(spec: WorkerSpec, conn, time_scale: float) -> None:
                            {"emulated_compute_s": emulated_compute,
                             "emulated_transfer_s": emulated_transfer}),
                 ]
-            conn.send(("features", request_id, encoded, stats))
+            conn.send(wire.features_message(request_id, encoded, stats))
         except Exception as exc:       # an infer error must not kill the loop
-            conn.send(("error", request_id, f"{type(exc).__name__}: {exc}"))
+            conn.send(wire.error_message(
+                request_id, f"{type(exc).__name__}: {exc}"))
 
 
 @dataclasses.dataclass
@@ -469,8 +475,8 @@ class EdgeCluster:
                 spec, self._time_scale, _worker_main)
         for spec in self._specs:
             message = self._handles[spec.worker_id].recv()
-            if message[0] != "ready":
-                detail = message[2] if len(message) > 2 else message
+            if wire.command(message) != wire.READY:
+                detail = wire.startup_detail(message)
                 raise RuntimeError(
                     f"worker {spec.worker_id} failed to start: {detail}")
         self._started = True
@@ -500,8 +506,8 @@ class EdgeCluster:
                     f"worker {spec.worker_id} not ready within "
                     f"{ready_timeout}s")
             message = handle.recv()
-            if message[0] != "ready":
-                detail = message[2] if len(message) > 2 else message
+            if wire.command(message) != wire.READY:
+                detail = wire.startup_detail(message)
                 raise RuntimeError(
                     f"worker {spec.worker_id} failed to start: {detail}")
         except (EOFError, OSError) as exc:
@@ -532,7 +538,7 @@ class EdgeCluster:
         handles = list(self._handles.values())
         for handle in handles:
             try:
-                handle.send(("stop",))
+                handle.send(wire.stop_message())
             except (BrokenPipeError, OSError):
                 pass                       # worker already gone
         for handle in handles:
@@ -542,7 +548,7 @@ class EdgeCluster:
                 if remaining <= 0 or not handle.poll(remaining):
                     break
                 try:
-                    if handle.recv()[0] == "stopped":
+                    if wire.command(handle.recv()) == wire.STOPPED:
                         break
                 except (EOFError, OSError):
                     break
@@ -637,10 +643,7 @@ class EdgeCluster:
             return False
         x = np.ascontiguousarray(x, dtype=np.float32)
         try:
-            if trace is not None:
-                handle.send(("infer", request_id, x, trace))
-            else:
-                handle.send(("infer", request_id, x))
+            handle.send(wire.infer_message(request_id, x, trace))
         except (BrokenPipeError, OSError):
             self.mark_down(worker_id, "pipe closed")
             return False
@@ -660,15 +663,15 @@ class EdgeCluster:
         server-side tracer, and a ``codec.decode`` span (joined to the
         batch trace by request id).
         """
-        if message[0] == "error":
+        if wire.command(message) == wire.ERROR:
             self._note_reply(worker_id)
             return message
-        if message[0] != "features" or not isinstance(message[2],
-                                                      EncodedFeatures):
+        if wire.command(message) != wire.FEATURES \
+                or not isinstance(wire.payload(message), EncodedFeatures):
             return message
-        encoded = message[2]
+        encoded = wire.payload(message)
         self._note_reply(worker_id, nbytes=int(encoded.nbytes))
-        stats = message[3]
+        stats = wire.stats(message)
         # Strip piggybacked spans unconditionally so consumers of the
         # stats dict never see the private key, even if tracing was
         # switched off between dispatch and reply.
@@ -682,15 +685,18 @@ class EdgeCluster:
             features = get_codec(encoded.codec).decode(encoded)
             decode_s = time.perf_counter() - t0
         except Exception as exc:       # corrupt payload: surface, don't die
-            return ("error", message[1],
-                    f"feature decode failed: {type(exc).__name__}: {exc}")
+            return wire.error_message(
+                wire.request_id(message),
+                f"feature decode failed: {type(exc).__name__}: {exc}")
         if traced:
-            get_tracer().emit("codec.decode", trace_id=message[1],
+            get_tracer().emit("codec.decode",
+                              trace_id=wire.request_id(message),
                               ts=t_wall, duration_s=decode_s,
                               attrs={"worker": worker_id,
                                      "codec": encoded.codec,
                                      "nbytes": int(encoded.nbytes)})
-        return (message[0], message[1], features, stats)
+        return wire.features_message(wire.request_id(message), features,
+                                     stats)
 
     def poll(self, timeout: float = 0.0) -> list[tuple[str, tuple]]:
         """Collect every reply that arrives within ``timeout`` seconds.
@@ -768,16 +774,18 @@ class EdgeCluster:
             for worker_id, message in self.poll(step):
                 if worker_id not in pending:
                     continue
-                if message[0] == "error":
+                if wire.command(message) == wire.ERROR:
                     # Stale errors from an earlier aborted request carry
                     # that request's id — skip them, they already raised.
-                    if message[1] is not None and message[1] != request_id:
+                    reply_id = wire.request_id(message)
+                    if reply_id is not None and reply_id != request_id:
                         continue
-                    raise WorkerFailure(worker_id, str(message[2]))
-                if message[0] != "features" or message[1] != request_id:
+                    raise WorkerFailure(worker_id, str(wire.payload(message)))
+                if wire.command(message) != wire.FEATURES \
+                        or wire.request_id(message) != request_id:
                     continue           # stale reply from an aborted request
-                features[worker_id] = message[2]
-                per_worker[worker_id] = message[3]
+                features[worker_id] = wire.payload(message)
+                per_worker[worker_id] = wire.stats(message)
                 pending.discard(worker_id)
             for worker_id in sorted(pending):
                 if worker_id in self._down:

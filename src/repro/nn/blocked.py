@@ -106,10 +106,20 @@ class BlockedBackend(NumpyBackend):
             if entry is not None and entry[0]() is weight:
                 return entry[1]
         packed = np.ascontiguousarray(weight.T)
-        ref = weakref.ref(weight, lambda _, k=key: self._packed.pop(k, None))
+        ref = weakref.ref(weight, lambda _, k=key: self._prune_packed(k))
         with self._packed_lock:
             self._packed[key] = (ref, packed)
         return packed
+
+    def _prune_packed(self, key: int) -> None:
+        """Weakref-callback target: drop a dead weight's packed copy.
+
+        Fires on whatever thread drops the last reference, so it takes
+        the cache lock like every other ``_packed`` access.  No deadlock
+        risk: the locked regions above never release array references.
+        """
+        with self._packed_lock:
+            self._packed.pop(key, None)
 
     def _tmp(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
         """Grow-on-demand per-thread scratch (epilogues, q8 tiles)."""

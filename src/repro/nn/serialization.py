@@ -44,7 +44,8 @@ def save_checkpoint(model: Module, path: str | Path, config: dict | None = None)
     payload = dict(state)
     if config is not None:
         payload[_CONFIG_KEY] = np.frombuffer(
-            json.dumps(config).encode("utf-8"), dtype=np.uint8)
+            json.dumps(config, allow_nan=False).encode("utf-8"),
+            dtype=np.uint8)
     path = checkpoint_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(path, **payload)

@@ -42,7 +42,10 @@ def jsonl_lines(spans: Iterable[SpanRecord | dict]) -> list[str]:
         data = record.to_dict()
         data["schema_version"] = TRACE_SCHEMA_VERSION
         data["started_at"] = record.ts
-        lines.append(json.dumps(data, sort_keys=True, default=str))
+        # allow_nan=False: a NaN duration must fail here, not ship as the
+        # bare `NaN` token that json.loads in stricter readers rejects.
+        lines.append(json.dumps(data, sort_keys=True, default=str,
+                                allow_nan=False))
     return lines
 
 
@@ -110,5 +113,5 @@ def write_chrome_trace(spans: Iterable[SpanRecord | dict],
     """Write a Perfetto-openable trace JSON; returns the span count."""
     trace = chrome_trace(spans)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(trace, fh, default=str)
+        json.dump(trace, fh, default=str, allow_nan=False)
     return trace["otherData"]["span_count"]

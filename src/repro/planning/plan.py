@@ -368,7 +368,9 @@ class DeploymentPlan:
         )
 
     def to_json(self, indent: int | None = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+        # allow_nan=False: a NaN prediction field would otherwise ship as
+        # the non-standard `NaN` token and break strict JSON readers.
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
 
     @staticmethod
     def from_json(text: str) -> "DeploymentPlan":

@@ -38,6 +38,7 @@ from typing import Callable
 import numpy as np
 
 from ..core.inference import predict, split_batch
+from ..edge import wire
 from ..edge.runtime import EdgeCluster, WorkerSpec
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer, new_span_id, tracing_enabled
@@ -116,13 +117,17 @@ class InferenceServer:
             # added by replanning never become extra slots.
             self._slots = list(self._cluster.worker_ids)
             self._slot_dims = {slot: dims[slot] for slot in self._slots}
-        if cluster_was_down or not self._hosting:
-            # Fresh processes for every spec: identity hosting is correct
-            # again.  When the cluster survived the stop (shutdown_cluster
-            # =False), keep the replanned hosting — the original workers
-            # may still be dead.
-            self._hosting = {slot: slot for slot in self._slots}
-            self._replan_attempted = set()
+        # Under the lock: a swap_worker or hosting() racing a restart must
+        # see either the old map or the fresh identity map, never a
+        # half-written one.
+        with self._hosting_lock:
+            if cluster_was_down or not self._hosting:
+                # Fresh processes for every spec: identity hosting is
+                # correct again.  When the cluster survived the stop
+                # (shutdown_cluster=False), keep the replanned hosting —
+                # the original workers may still be dead.
+                self._hosting = {slot: slot for slot in self._slots}
+                self._replan_attempted = set()
         self._input_shape = self._expected_input_shape()
         self._stopped_at = None
         self._health_snapshot = None
@@ -260,7 +265,10 @@ class InferenceServer:
         with self._hosting_lock:
             old = self._hosting.get(slot, slot)
             self._hosting[slot] = spec.worker_id
-        self._replan_attempted.discard(spec.worker_id)
+            # The swap runs on a caller thread while _maybe_replan runs on
+            # the serve thread; the attempted-set is shared mutable state
+            # and rides under the same lock as the hosting map.
+            self._replan_attempted.discard(spec.worker_id)
         if old == spec.worker_id or not self._cluster.started:
             return spec.worker_id
         if old in set(self.hosting().values()):
@@ -412,11 +420,13 @@ class InferenceServer:
             for worker_id, message in self._cluster.poll(step):
                 if worker_id not in pending:
                     continue           # stale reply from an aborted batch
-                if message[0] == "features" and message[1] == request_id:
-                    features[worker_id] = message[2]
-                    stats[worker_id] = message[3]
+                if wire.command(message) == wire.FEATURES \
+                        and wire.request_id(message) == request_id:
+                    features[worker_id] = wire.payload(message)
+                    stats[worker_id] = wire.stats(message)
                     pending.discard(worker_id)
-                elif message[0] == "error" and message[1] == request_id:
+                elif wire.command(message) == wire.ERROR \
+                        and wire.request_id(message) == request_id:
                     # Per-request failure: the worker itself survives (its
                     # loop keeps serving), so only this batch degrades —
                     # its feature slot is zero-filled below.
@@ -531,13 +541,17 @@ class InferenceServer:
         if self._replanner is None:
             return
         down = set(self._cluster.down_workers)
+        with self._hosting_lock:
+            hosts = set(self._hosting.values())
+            attempted = set(self._replan_attempted)
         affected = sorted(
-            host for host in set(self.hosting().values())
+            host for host in hosts
             if (host in down or not self._cluster.is_alive(host))
-            and host not in self._replan_attempted)
+            and host not in attempted)
         if not affected:
             return
-        self._replan_attempted.update(affected)
+        with self._hosting_lock:
+            self._replan_attempted.update(affected)
         try:
             updated = self._replanner(self, affected)
         except Exception:              # infeasible/failed replan: degrade

@@ -215,7 +215,9 @@ class ArtifactStore:
                                    suffix=".json")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=2)
+                # allow_nan=False: float timestamps/sizes must serialize
+                # as valid JSON or fail loudly before the atomic replace.
+                json.dump(payload, handle, indent=2, allow_nan=False)
             os.replace(tmp, self._manifest_path)
         except BaseException:
             try:

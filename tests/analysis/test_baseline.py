@@ -1,0 +1,87 @@
+"""Baseline lifecycle: round-trip, add/expire, multiset matching."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BaselineEntry,
+    BaselineError,
+    Finding,
+    compare,
+    load_baseline,
+    save_baseline,
+)
+
+
+def finding(message="m", file="a.py", rule_id="HYG001", line=3):
+    return Finding(rule_id, "error", file, line, message)
+
+
+class TestRoundTrip:
+    def test_save_then_load_preserves_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [finding("one"), finding("two", file="b.py")]
+        save_baseline(path, findings)
+        entries = load_baseline(path)
+        assert [e.fingerprint for e in entries] \
+            == [f.fingerprint for f in findings]
+        assert entries[0].message == "one"
+
+    def test_rewrite_carries_over_reasons(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        kept = finding("kept")
+        save_baseline(path, [kept, finding("dropped")])
+        entries = load_baseline(path)
+        entries[0] = BaselineEntry(fingerprint=entries[0].fingerprint,
+                                   reason="accepted: benign")
+        # Rewriting after the 'dropped' finding was fixed keeps the
+        # surviving entry's human reason and expires the other.
+        save_baseline(path, [kept], previous=entries)
+        (entry,) = load_baseline(path)
+        assert entry.fingerprint == kept.fingerprint
+        assert entry.reason == "accepted: benign"
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_malformed_file_raises_baseline_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_unknown_format_version_raises(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 99, "entries": []}))
+        with pytest.raises(BaselineError, match="format_version"):
+            load_baseline(path)
+
+
+class TestCompare:
+    def test_new_baselined_and_stale_are_partitioned(self):
+        accepted, fixed, fresh = (finding("accepted"), finding("fixed"),
+                                  finding("fresh"))
+        entries = [BaselineEntry(fingerprint=accepted.fingerprint),
+                   BaselineEntry(fingerprint=fixed.fingerprint)]
+        comparison = compare([accepted, fresh], entries)
+        assert comparison.new == [fresh]
+        assert comparison.baselined == [accepted]
+        assert [e.fingerprint for e in comparison.stale] \
+            == [fixed.fingerprint]
+
+    def test_duplicate_findings_need_duplicate_entries(self):
+        # Same rule+file+message twice (e.g. a double-checked read hit
+        # at the check and the return): one entry only excuses one.
+        twice = [finding("dup"), finding("dup", line=9)]
+        one_entry = [BaselineEntry(fingerprint=twice[0].fingerprint)]
+        comparison = compare(twice, one_entry)
+        assert len(comparison.baselined) == 1
+        assert len(comparison.new) == 1
+        both = one_entry * 2
+        comparison = compare(twice, both)
+        assert comparison.new == [] and comparison.stale == []
+
+    def test_fingerprint_ignores_line_numbers(self):
+        assert finding(line=3).fingerprint == finding(line=300).fingerprint
+        assert finding("x").fingerprint != finding("y").fingerprint

@@ -1,0 +1,72 @@
+"""The worker wire protocol: typed constructors, accessors, arity."""
+
+import pytest
+
+from repro.edge import wire
+
+
+class TestConstructors:
+    def test_every_constructor_matches_declared_arity(self):
+        messages = [
+            wire.infer_message(7, "x"),
+            wire.infer_message(7, "x", {"trace_id": 9}),
+            wire.stop_message(),
+            wire.ready_message("w0"),
+            wire.failed_message("w0", "boom"),
+            wire.features_message(7, b"data", {"t": 1.0}),
+            wire.error_message(7, "bad"),
+            wire.stopped_message("w0"),
+        ]
+        for message in messages:
+            assert wire.check(message) is message
+
+    def test_infer_without_trace_is_the_legacy_3_tuple(self):
+        assert wire.infer_message(3, "x") == (wire.INFER, 3, "x")
+
+    def test_infer_with_trace_carries_it_as_4th_element(self):
+        trace = {"trace_id": 1, "parent_id": "a"}
+        message = wire.infer_message(3, "x", trace)
+        assert len(message) == 4
+        assert wire.trace_context(message) == trace
+
+    def test_trace_context_is_none_on_legacy_tuples(self):
+        assert wire.trace_context(wire.infer_message(3, "x")) is None
+
+
+class TestAccessors:
+    def test_command_and_request_id(self):
+        message = wire.features_message(11, b"f", {})
+        assert wire.command(message) == wire.FEATURES
+        assert wire.request_id(message) == 11
+
+    def test_payload_and_stats(self):
+        message = wire.features_message(1, b"encoded", {"infer_s": 0.5})
+        assert wire.payload(message) == b"encoded"
+        assert wire.stats(message) == {"infer_s": 0.5}
+
+    def test_error_payload_is_the_detail(self):
+        assert wire.payload(wire.error_message(None, "why")) == "why"
+
+    def test_startup_detail_reads_failed_message(self):
+        assert wire.startup_detail(wire.failed_message("w0", "oom")) == "oom"
+
+    def test_startup_detail_degrades_on_short_messages(self):
+        # Malformed legacy replies must still print *something*.
+        assert wire.startup_detail(("ready", "w0")) == ("ready", "w0")
+
+
+class TestCheck:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(wire.WireError, match="unknown wire command"):
+            wire.check(("banana", 1, 2))
+
+    def test_arity_drift_rejected(self):
+        with pytest.raises(wire.WireError, match="elements"):
+            wire.check((wire.READY, "w0", "extra"))
+
+    def test_non_tuple_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.check(["infer", 1, "x"])
+
+    def test_every_command_has_arity(self):
+        assert set(wire.ARITY) == set(wire.COMMANDS)

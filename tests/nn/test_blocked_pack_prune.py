@@ -1,0 +1,39 @@
+"""Regression: the packed-weight cache prunes dead entries under its
+lock (the weakref callback fires on whichever thread drops the last
+array reference — PR 8 moved it into ``_prune_packed``)."""
+
+import gc
+
+import numpy as np
+
+from repro.nn.blocked import BlockedBackend
+
+
+def test_dead_weight_is_pruned_from_the_pack_cache():
+    backend = BlockedBackend(num_threads=1)
+    weight = np.random.default_rng(0).normal(size=(64, 32)).astype(np.float32)
+    key = id(weight)
+
+    packed = backend._packed_transpose(weight)
+    assert packed is not None
+    assert key in backend._packed
+
+    del weight, packed
+    gc.collect()
+    assert key not in backend._packed
+
+
+def test_prune_is_safe_for_already_missing_keys():
+    backend = BlockedBackend(num_threads=1)
+    backend._prune_packed(12345)           # no entry: must not raise
+    assert backend._packed == {}
+
+
+def test_live_weight_survives_unrelated_prunes():
+    backend = BlockedBackend(num_threads=1)
+    weight = np.ones((16, 16), dtype=np.float32)
+    backend._packed_transpose(weight)
+    backend._prune_packed(id(weight) + 1)
+    assert id(weight) in backend._packed
+    np.testing.assert_array_equal(
+        backend._packed_transpose(weight), weight.T)

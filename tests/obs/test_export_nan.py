@@ -1,0 +1,38 @@
+"""Regression: exporters reject NaN/Infinity at write time instead of
+emitting non-standard JSON (PR 8: ``allow_nan=False`` everywhere)."""
+
+import math
+
+import pytest
+
+from repro.obs import SpanRecord
+from repro.obs.export import jsonl_lines, write_chrome_trace, write_jsonl
+
+
+def nan_span():
+    return SpanRecord(name="request", trace_id=1, span_id="a",
+                      parent_id=None, process="server", thread="serve",
+                      ts=100.0, duration_s=0.01,
+                      attrs={"ratio": math.nan})
+
+
+def test_jsonl_lines_reject_nan_attrs():
+    with pytest.raises(ValueError):
+        jsonl_lines([nan_span()])
+
+
+def test_write_jsonl_rejects_nan_attrs(tmp_path):
+    with pytest.raises(ValueError):
+        write_jsonl([nan_span()], str(tmp_path / "spans.jsonl"))
+
+
+def test_chrome_trace_rejects_nan_attrs(tmp_path):
+    with pytest.raises(ValueError):
+        write_chrome_trace([nan_span()], str(tmp_path / "trace.json"))
+
+
+def test_finite_attrs_still_export(tmp_path):
+    span = SpanRecord(name="request", trace_id=1, span_id="a",
+                      parent_id=None, process="server", thread="serve",
+                      ts=100.0, duration_s=0.01, attrs={"ratio": 0.5})
+    assert write_jsonl([span], str(tmp_path / "spans.jsonl")) == 1
