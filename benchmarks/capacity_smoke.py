@@ -1,0 +1,169 @@
+"""CI smoke test for fleet-scale simulation + capacity planning
+(the `capacity-smoke` job).
+
+Three gates, all on a 1000-device fleet within a tight wall-clock budget:
+
+1. **Bit-matching**: the vectorized scorer must reproduce the event-loop
+   DES *exactly* — per-sample latencies, makespan, busy totals and busy
+   segments compare with ``==``, not a tolerance.
+2. **Speedup**: the vectorized engine must be >= 10x faster than the
+   event loop on the same 1000-device run (median of repeated timings).
+3. **Frontier sanity**: `plan_capacity` over a bursty trace must produce
+   a Pareto frontier with strictly increasing cost and strictly
+   decreasing p95, and adding devices at a fixed configuration must not
+   make p95 worse.
+
+Emits ``BENCH_capacity.json`` (perf-trajectory record) in the CWD.
+
+Run:  PYTHONPATH=src python benchmarks/capacity_smoke.py
+"""
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.edge.device import DeviceModel, make_fleet
+from repro.edge.simulator import (
+    DeploymentSpec,
+    SubModelProfile,
+    simulate_inference,
+)
+from repro.planning.capacity import cheapest_within_slo, plan_capacity
+from repro.serving.traffic import ArrivalTrace, burst_trace
+
+FLEET_DEVICES = 1000
+NUM_SAMPLES = 64
+MIN_SPEEDUP = 10.0
+TIMING_REPEATS = 3
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {name}" + (f" ({detail})" if detail else ""))
+    if not condition:
+        raise SystemExit(f"capacity smoke failed: {name} {detail}")
+
+
+def build_fleet_spec(n_devices: int) -> DeploymentSpec:
+    devices = make_fleet(n_devices)
+    fusion = DeviceModel("fusion",
+                         macs_per_second=devices[0].macs_per_second * 4)
+    rng = np.random.default_rng(7)
+    placement, profiles = {}, {}
+    for i, dev in enumerate(devices):
+        model_id = f"m{i}"
+        placement[model_id] = dev.device_id
+        profiles[model_id] = SubModelProfile(
+            model_id=model_id,
+            flops_per_sample=float(rng.uniform(1e8, 5e8)),
+            feature_dim=int(rng.integers(64, 256)))
+    return DeploymentSpec(devices=devices, placement=placement,
+                          profiles=profiles, fusion_device=fusion,
+                          fusion_flops=2e8)
+
+
+def main() -> None:
+    print(f"== engine equivalence + speedup at {FLEET_DEVICES} devices ==")
+    spec = build_fleet_spec(FLEET_DEVICES)
+    kwargs = dict(num_samples=NUM_SAMPLES, arrival_interval=0.001)
+
+    event_times, vector_times = [], []
+    event = vector = None
+    for _ in range(TIMING_REPEATS):
+        t0 = time.perf_counter()
+        event = simulate_inference(spec, engine="event", **kwargs)
+        event_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        vector = simulate_inference(spec, engine="vector", **kwargs)
+        vector_times.append(time.perf_counter() - t0)
+
+    check("vector engine was used", vector.engine == "vector")
+    check("latencies bit-identical", event.latencies == vector.latencies)
+    check("makespan bit-identical", event.makespan == vector.makespan)
+    check("device busy bit-identical", event.device_busy == vector.device_busy)
+    check("link busy bit-identical", event.link_busy == vector.link_busy)
+    check("busy segments bit-identical",
+          event.busy_segments == vector.busy_segments)
+
+    event_s = statistics.median(event_times)
+    vector_s = statistics.median(vector_times)
+    speedup = event_s / vector_s
+    check(f"speedup >= {MIN_SPEEDUP:g}x", speedup >= MIN_SPEEDUP,
+          f"event {event_s:.3f}s / vector {vector_s:.4f}s = {speedup:.1f}x")
+
+    print("== bursty-trace capacity sweep ==")
+    trace = burst_trace(base_rps=20, burst_rps=200, burst_every_s=10,
+                        burst_duration_s=2, duration_s=30, seed=1)
+    t0 = time.perf_counter()
+    report = plan_capacity(trace)
+    sweep_s = time.perf_counter() - t0
+    feasible = report.feasible_points()
+    check("sweep produced feasible points", len(feasible) > 0,
+          f"{len(report.points)} points, {len(feasible)} feasible "
+          f"in {sweep_s:.2f}s")
+    check("sweep under wall-clock budget", sweep_s < 60.0, f"{sweep_s:.2f}s")
+    check("frontier non-empty", len(report.frontier) >= 2)
+
+    costs = [p.cost_usd for p in report.frontier]
+    p95s = [p.p95_s for p in report.frontier]
+    check("frontier cost strictly increasing",
+          all(b > a for a, b in zip(costs, costs[1:])))
+    check("frontier p95 strictly decreasing",
+          all(b < a for a, b in zip(p95s, p95s[1:])))
+
+    # Fixing (class, groups, codec): a bigger fleet means more replicas,
+    # each seeing a thinner slice of the trace — p95 must not get worse.
+    configs = {(p.device_class, p.group_count, p.codec)
+               for p in feasible}
+    monotone_checked = 0
+    for key in sorted(configs):
+        series = sorted((p for p in feasible
+                         if (p.device_class, p.group_count, p.codec) == key
+                         and p.replicas >= 1),
+                        key=lambda p: p.devices_used)
+        for smaller, bigger in zip(series, series[1:]):
+            if bigger.replicas > smaller.replicas:
+                check(f"p95 monotone for {key} "
+                      f"({smaller.devices_used}->{bigger.devices_used} dev)",
+                      bigger.p95_s <= smaller.p95_s * 1.0001,
+                      f"{smaller.p95_s:.2f}s -> {bigger.p95_s:.2f}s")
+                monotone_checked += 1
+    check("monotonicity pairs covered", monotone_checked >= 4,
+          str(monotone_checked))
+
+    slo = max(p95s)
+    best = cheapest_within_slo(report, slo)
+    check("cheapest-within-SLO resolves", best is not None
+          and best.p95_s <= slo)
+
+    print("== trace JSONL round trip ==")
+    out = Path("capacity_trace.jsonl")
+    trace.to_jsonl(out)
+    check("trace round-trips", ArrivalTrace.from_jsonl(out) == trace)
+    out.unlink()
+
+    record = {
+        "fleet_devices": FLEET_DEVICES,
+        "num_samples": NUM_SAMPLES,
+        "event_s": round(event_s, 4),
+        "vector_s": round(vector_s, 5),
+        "speedup": round(speedup, 1),
+        "sweep_points": len(report.points),
+        "sweep_s": round(sweep_s, 3),
+        "frontier": [p.row() for p in report.frontier],
+    }
+    Path("BENCH_capacity.json").write_text(
+        json.dumps(record, indent=2, allow_nan=False) + "\n",
+        encoding="utf-8")
+    print(f"wrote BENCH_capacity.json (speedup {speedup:.1f}x, "
+          f"{len(report.points)}-point sweep in {sweep_s:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

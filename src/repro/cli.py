@@ -19,6 +19,8 @@ Usage::
     python -m repro.cli loadgen --rates 50,100,200 --compare-batching
     python -m repro.cli trace --out trace.json --transport inprocess
     python -m repro.cli loadgen --rates 100 --trace trace.json --metrics
+    python -m repro.cli capacity --traffic burst --slo-p95-ms 8000
+    python -m repro.cli capacity --trace-file arrivals.jsonl --json
     python -m repro.cli artifacts ls --store ./artifacts
     python -m repro.cli artifacts gc --store ./artifacts --max-mb 64
     python -m repro.cli check --strict                  # static analysis
@@ -512,6 +514,80 @@ def cmd_loadgen(args) -> None:
         print(format_table(rows))
 
 
+def _capacity_trace(args):
+    """Build or load the arrival trace a capacity sweep scores against."""
+    from .serving import traffic
+
+    if args.trace_file:
+        return traffic.ArrivalTrace.from_jsonl(args.trace_file)
+    rps, peak = args.rps, args.peak_rps
+    duration, seed = args.duration, args.seed
+    if args.traffic == "poisson":
+        return traffic.poisson_trace(rps, duration, seed)
+    if args.traffic == "burst":
+        return traffic.burst_trace(
+            base_rps=rps, burst_rps=peak, burst_every_s=args.burst_every,
+            burst_duration_s=args.burst_len, duration_s=duration, seed=seed)
+    if args.traffic == "diurnal":
+        return traffic.diurnal_trace(base_rps=rps, peak_rps=peak,
+                                     period_s=duration, duration_s=duration,
+                                     seed=seed)
+    if args.traffic == "mmpp":
+        return traffic.mmpp_trace([rps, peak], mean_dwell_s=duration / 6,
+                                  duration_s=duration, seed=seed)
+    if args.traffic == "flash":
+        return traffic.flash_crowd_trace(
+            base_rps=rps, peak_rps=peak, onset_s=duration / 3,
+            decay_s=duration / 6, duration_s=duration, seed=seed)
+    raise SystemExit(f"unknown traffic shape {args.traffic!r}")
+
+
+def cmd_capacity(args) -> None:
+    """``repro capacity``: trace-driven fleet sizing over the fast DES."""
+    import json
+
+    from .planning.capacity import cheapest_within_slo, plan_capacity
+
+    trace = _capacity_trace(args)
+    if args.save_trace:
+        trace.to_jsonl(args.save_trace)
+        print(f"# trace saved to {args.save_trace}", file=sys.stderr)
+    report = plan_capacity(
+        trace,
+        device_classes=[c for c in args.classes.split(",") if c],
+        fleet_sizes=[int(n) for n in args.fleet_sizes.split(",") if n],
+        group_counts=[int(n) for n in args.groups.split(",") if n],
+        codecs=[c for c in args.codecs.split(",") if c],
+    )
+    slo_s = None if args.slo_p95_ms is None else args.slo_p95_ms / 1e3
+    best = None if slo_s is None else cheapest_within_slo(report, slo_s)
+
+    if args.json:
+        payload = report.to_json()
+        if slo_s is not None:
+            payload["slo"] = {"p95_ms": args.slo_p95_ms,
+                              "cheapest": best.row() if best else None}
+        print(json.dumps(payload, indent=2, allow_nan=False))
+        return
+    print(f"# trace: {report.trace_requests} requests over "
+          f"{report.trace_duration_s:.1f}s "
+          f"(mean {report.trace_mean_rps:.1f} rps)", file=sys.stderr)
+    rows = [p.row() for p in (report.points if args.all else report.frontier)]
+    if rows:
+        print(format_table(rows))
+    else:
+        print("no feasible configuration", file=sys.stderr)
+    if slo_s is not None:
+        if best is None:
+            print(f"no configuration meets p95 <= {args.slo_p95_ms:g} ms")
+        else:
+            print(f"cheapest within p95 <= {args.slo_p95_ms:g} ms: "
+                  f"{best.devices_used}x {best.device_class} "
+                  f"({best.replicas} replicas of {best.group_count}+1, "
+                  f"codec {best.codec}, {best.quant}) "
+                  f"at ${best.cost_usd:,.0f} — p95 {best.p95_s * 1e3:.0f} ms")
+
+
 def _add_serving_options(parser: argparse.ArgumentParser) -> None:
     from .edge.transport import TRANSPORTS
 
@@ -728,6 +804,52 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run closed-loop batch=1 vs dynamic "
                              "batching")
     p_load.set_defaults(func=cmd_loadgen)
+
+    p_cap = sub.add_parser(
+        "capacity",
+        help="trace-driven capacity planning: sweep fleet size x device "
+             "class x codec through the vectorized simulator and print "
+             "the cost/latency frontier")
+    p_cap.add_argument("--trace-file", default=None, metavar="FILE",
+                       help="replay an arrival trace (repro.arrivals.v1 "
+                            "JSONL) instead of generating traffic")
+    p_cap.add_argument("--traffic", default="burst",
+                       choices=("poisson", "burst", "diurnal", "mmpp",
+                                "flash"),
+                       help="generated traffic shape (ignored with "
+                            "--trace-file)")
+    p_cap.add_argument("--rps", type=float, default=20.0,
+                       help="base offered rate")
+    p_cap.add_argument("--peak-rps", type=float, default=200.0,
+                       help="peak rate for bursty/diurnal/mmpp/flash shapes")
+    p_cap.add_argument("--duration", type=float, default=30.0,
+                       help="trace length in seconds")
+    p_cap.add_argument("--burst-every", type=float, default=10.0,
+                       help="burst period (traffic=burst)")
+    p_cap.add_argument("--burst-len", type=float, default=2.0,
+                       help="burst duration (traffic=burst)")
+    p_cap.add_argument("--seed", type=int, default=0)
+    p_cap.add_argument("--classes", default="pi4b,pi5",
+                       help="comma-separated device classes (see "
+                            "repro.planning.capacity.DEVICE_CLASSES)")
+    p_cap.add_argument("--fleet-sizes", default="12,60,300,1000",
+                       help="comma-separated total device budgets")
+    p_cap.add_argument("--groups", default="2,3,5",
+                       help="comma-separated workers-per-replica counts")
+    p_cap.add_argument("--codecs", default="raw32,q8",
+                       help="comma-separated feature wire codecs")
+    p_cap.add_argument("--slo-p95-ms", type=float, default=None,
+                       help="also report the cheapest point meeting this "
+                            "p95 target")
+    p_cap.add_argument("--all", action="store_true",
+                       help="print every scored point, not just the "
+                            "frontier")
+    p_cap.add_argument("--save-trace", default=None, metavar="FILE",
+                       help="write the (generated) trace as JSONL for "
+                            "replay against the real server")
+    p_cap.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+    p_cap.set_defaults(func=cmd_capacity)
 
     p_art = sub.add_parser(
         "artifacts", help="inspect or garbage-collect a model artifact store")

@@ -4,6 +4,14 @@ Provides an event queue with deterministic tie-breaking and FIFO resources
 with deterministic service times — enough to model edge devices (serial
 compute), links (serial transfer) and fusion barriers without pulling in a
 full simulation framework.
+
+The kernel is deliberately small and hot: every class is ``__slots__``-ed
+(fleet-scale runs allocate one :class:`FifoResource` per device plus
+millions of queue entries) and :meth:`Simulator.run` drains the heap with
+locally-bound references instead of per-event attribute lookups.  For the
+star-topology inference pattern the event loop is bypassed entirely — see
+:mod:`repro.edge.fastsim` for the vectorized scorer that reproduces this
+kernel's results bit for bit.
 """
 
 from __future__ import annotations
@@ -15,7 +23,14 @@ from typing import Callable
 
 
 class Simulator:
-    """Event loop: schedule callbacks at absolute times, run to quiescence."""
+    """Event loop: schedule callbacks at absolute times, run to quiescence.
+
+    Events are stored as ``(time, seq, callback)`` tuples in a binary heap
+    (array-backed, cache-friendly); ``seq`` is a monotone counter so ties
+    execute in scheduling order, which makes runs deterministic.
+    """
+
+    __slots__ = ("_queue", "_counter", "now")
 
     def __init__(self):
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
@@ -41,18 +56,26 @@ class Simulator:
         observation window and repeated ``run(until=...)`` calls resume
         from the horizon rather than from the last executed event.
         """
-        while self._queue:
-            time, _, callback = self._queue[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._queue)
+        # Batched draining: bind the heap and heappop once and loop tight.
+        # Callbacks may push new events; heappop keeps the heap invariant,
+        # so re-reading queue[0] each iteration stays correct.
+        queue = self._queue
+        pop = heapq.heappop
+        if until is None:
+            while queue:
+                time, _, callback = pop(queue)
+                self.now = time
+                callback()
+            return
+        while queue and queue[0][0] <= until:
+            time, _, callback = pop(queue)
             self.now = time
             callback()
-        if until is not None and until > self.now:
+        if until > self.now:
             self.now = until
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class FifoResource:
     """A serially-shared resource (CPU, link): requests queue in FIFO order.
 
@@ -88,6 +111,10 @@ class FifoResource:
             self._segments.append([start, finish])
         return finish
 
+    def segments(self) -> list[tuple[float, float]]:
+        """The merged busy intervals booked so far, as (start, finish)."""
+        return [(start, finish) for start, finish in self._segments]
+
     def busy_within(self, horizon: float) -> float:
         """Service seconds falling inside ``[0, horizon]``."""
         total = 0.0
@@ -110,6 +137,8 @@ class Barrier:
     ``late`` rather than raising: a straggler reply landing after degraded
     fusion already proceeded without it must not kill the event loop.
     """
+
+    __slots__ = ("expected", "arrived", "late", "callback", "fired")
 
     def __init__(self, expected: int, callback: Callable[[], None]):
         if expected < 1:

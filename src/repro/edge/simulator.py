@@ -6,17 +6,32 @@ and ships the CLS features through its (tc-capped) link to the fusion
 device, which concatenates them and runs the fusion MLP.  Per-sample
 latency is the scatter→compute→transfer→fuse critical path; streams of
 samples pipeline naturally through the FIFO resources.
+
+Two engines produce identical results: the event-loop DES (one Python
+callback per event — general, and the reference semantics) and the
+vectorized fast path (:mod:`repro.edge.fastsim`) that advances the whole
+fleet's FIFO recurrences with numpy — orders of magnitude faster at
+fleet scale and bit-identical where applicable.  ``engine="auto"`` (the
+default, and what :class:`repro.planning.Planner` scoring uses) picks the
+fast path automatically whenever the run is pure star-pattern — which it
+always is for ``simulate_inference``'s own workload unless inputs are
+shipped to workers on an open arrival stream.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import statistics
+from typing import Sequence
 
+from . import fastsim
 from .codec import get_codec
 from .device import DeviceModel
 from .network import StarTopology, uniform_star
 from .sim_core import Barrier, FifoResource, Simulator
+
+ENGINES = ("auto", "event", "vector")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,6 +74,12 @@ class SimulationResult:
     makespan: float
     device_busy: dict[str, float]
     link_busy: dict[str, float]
+    # Merged busy intervals per resource ("cpu:<id>" / "link:<id>"), the
+    # FifoResource segment semantics — lets callers compute horizon-clamped
+    # utilization after the run, regardless of which engine produced it.
+    busy_segments: dict[str, list[tuple[float, float]]] = \
+        dataclasses.field(default_factory=dict)
+    engine: str = "event"                  # which engine produced this run
 
     @property
     def mean_latency(self) -> float:
@@ -73,27 +94,102 @@ class SimulationResult:
         """Completed samples per second over the whole run."""
         return len(self.latencies) / self.makespan if self.makespan > 0 else 0.0
 
+    def busy_within(self, resource: str, horizon: float) -> float:
+        """Service seconds booked on ``resource`` inside ``[0, horizon]``
+        (:meth:`repro.edge.sim_core.FifoResource.busy_within` semantics)."""
+        total = 0.0
+        for start, finish in self.busy_segments.get(resource, []):
+            if start >= horizon:
+                break
+            total += min(finish, horizon) - start
+        return total
+
+    def utilization(self, resource: str, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_within(resource, horizon) / horizon)
+
+
+def _resolve_arrivals(num_samples: int, arrival_interval: float,
+                      arrival_times: Sequence[float] | None) -> list[float]:
+    """The absolute per-sample arrival times a run simulates.
+
+    ``arrival_times`` (e.g. a :class:`repro.serving.traffic.ArrivalTrace`'s
+    arrivals) overrides the uniform ``num_samples`` × ``arrival_interval``
+    schedule; it must be non-empty, finite, non-negative and sorted.
+    """
+    if arrival_times is not None:
+        if arrival_interval:
+            raise ValueError(
+                "pass arrival_interval or arrival_times, not both")
+        arrivals = [float(t) for t in arrival_times]
+        if not arrivals:
+            raise ValueError("arrival_times must not be empty")
+        if not all(math.isfinite(t) for t in arrivals) or arrivals[0] < 0:
+            raise ValueError("arrival_times must be finite and non-negative")
+        for earlier, later in zip(arrivals, arrivals[1:]):
+            if later < earlier:
+                raise ValueError("arrival_times must be sorted")
+        return arrivals
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    return [k * arrival_interval for k in range(num_samples)]
+
 
 def simulate_inference(spec: DeploymentSpec, num_samples: int = 1,
                        arrival_interval: float = 0.0,
                        failed_devices: set[str] | frozenset[str] | None = None,
+                       arrival_times: Sequence[float] | None = None,
+                       engine: str = "auto",
                        ) -> SimulationResult:
-    """Simulate ``num_samples`` inferences through the deployment.
+    """Simulate inferences through the deployment.
 
     ``arrival_interval == 0`` issues all samples at t=0 (batch mode);
     a positive interval issues an open stream, exercising pipelining.
+    ``arrival_times`` replaces both with an explicit sorted schedule of
+    absolute arrival seconds (trace-driven simulation) — the sample count
+    is then ``len(arrival_times)``.
 
     ``failed_devices`` marks crashed workers: their sub-models never
     deliver features and the fusion barrier proceeds without them (the
     fusion device zero-fills the missing slots — see
     :func:`repro.splitting.fusion.fused_predict` with ``failed``).
+
+    ``engine`` selects the scorer: ``"event"`` runs the callback event
+    loop, ``"vector"`` forces the numpy fast path (ValueError when its
+    star-pattern preconditions do not hold), and ``"auto"`` — the default —
+    uses the fast path whenever it is exact and falls back otherwise.
+    Both engines return bit-identical results.
     """
-    if num_samples < 1:
-        raise ValueError("num_samples must be >= 1")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    arrivals = _resolve_arrivals(num_samples, arrival_interval, arrival_times)
     failed = set(failed_devices or ())
     known = {d.device_id for d in spec.devices}
     if not failed <= known:
         raise KeyError(f"failed devices not in fleet: {sorted(failed - known)}")
+
+    if engine != "event":
+        if fastsim.applicable(spec, arrivals):
+            run = fastsim.simulate_star(spec, arrivals, failed)
+            return SimulationResult(
+                latencies=run.latencies.tolist(),
+                makespan=run.makespan,
+                device_busy=run.device_busy,
+                link_busy=run.link_busy,
+                busy_segments=run.busy_segments,
+                engine="vector")
+        if engine == "vector":
+            raise ValueError(
+                "vector engine requires the star pattern to be static: "
+                "input_bytes == 0 or a single batch arrival instant")
+    return _simulate_event_loop(spec, arrivals, failed)
+
+
+def _simulate_event_loop(spec: DeploymentSpec, arrivals_schedule: list[float],
+                         failed: set[str]) -> SimulationResult:
+    """The reference callback-per-event DES."""
+    num_samples = len(arrivals_schedule)
     sim = Simulator()
     topology = spec.resolved_topology()
 
@@ -138,19 +234,24 @@ def simulate_inference(spec: DeploymentSpec, num_samples: int = 1,
                               barrier)
 
     for k in range(num_samples):
-        sim.schedule_at(k * arrival_interval, lambda k=k: start_sample(k))
+        sim.schedule_at(arrivals_schedule[k], lambda k=k: start_sample(k))
     sim.run()
 
     if len(latencies) != num_samples:
         raise RuntimeError("simulation ended with unfinished samples")
     ordered = [latencies[k] for k in range(num_samples)]
     makespan = max(arrivals[k] + latencies[k] for k in range(num_samples))
+    segments = {r.name: r.segments()
+                for r in [*compute.values(), *uplinks.values()]}
+    segments[fusion_cpu.name] = fusion_cpu.segments()
     return SimulationResult(
         latencies=ordered,
         makespan=makespan,
         device_busy={d: r.busy_seconds for d, r in compute.items()}
         | {spec.fusion_device.device_id: fusion_cpu.busy_seconds},
         link_busy={d: r.busy_seconds for d, r in uplinks.items()},
+        busy_segments=segments,
+        engine="event",
     )
 
 

@@ -10,8 +10,23 @@ profiling, and the discrete-event simulator — then executed directly:
 plan, and :func:`replan_on_failure` reassigns a failed device's sub-models
 onto surviving devices' residual capacity at runtime so fusion recovers
 real features instead of zero-filling forever.
+
+:mod:`repro.planning.capacity` scales the planning question up from one
+cluster to a fleet: :func:`plan_capacity` sweeps device class × fleet
+size × codec/quant against an arrival trace through the vectorized DES
+and returns the cost/latency Pareto frontier (the ``repro capacity``
+CLI).
 """
 
+from .capacity import (
+    DEVICE_CLASSES,
+    CapacityPoint,
+    CapacityReport,
+    DeviceClass,
+    cheapest_within_slo,
+    pareto_frontier,
+    plan_capacity,
+)
 from .execute import (
     PlannedSystem,
     plan_artifact_digests,
@@ -35,8 +50,12 @@ from .planner import (
 from .replan import ReplanInfeasible, replan_on_failure, residual_capacity
 
 __all__ = [
+    "CapacityPoint",
+    "CapacityReport",
     "DEFAULT_CANDIDATE_CODECS",
+    "DEVICE_CLASSES",
     "DeploymentPlan",
+    "DeviceClass",
     "FUSION_ARTIFACT",
     "PlanPrediction",
     "PlannedDevice",
@@ -46,7 +65,10 @@ __all__ = [
     "PlannerConfig",
     "PlanningError",
     "ReplanInfeasible",
+    "cheapest_within_slo",
+    "pareto_frontier",
     "plan_artifact_digests",
+    "plan_capacity",
     "plan_demo_system",
     "quantize_plan_artifacts",
     "replan_on_failure",

@@ -8,8 +8,10 @@ at once -> dead or timed-out workers are marked down and zero-filled
 resolve with labels and a full latency breakdown.
 
 See :mod:`repro.serving.loadgen` for the Poisson open-loop / concurrent
-closed-loop load generator, and :mod:`repro.serving.demo` for one-call
-demo fleets used by the CLI, CI smoke job, and benchmarks.
+closed-loop / trace-replay load generator, :mod:`repro.serving.traffic`
+for the arrival-trace model and traffic-shape generators it shares with
+the fleet simulator, and :mod:`repro.serving.demo` for one-call demo
+fleets used by the CLI, CI smoke job, and benchmarks.
 """
 
 from .batcher import (
@@ -29,8 +31,17 @@ from .loadgen import (
 )
 from .server import InferenceServer, ServerConfig
 from .telemetry import RequestTelemetry, ServingReport, percentile
+from .traffic import (
+    ArrivalTrace,
+    burst_trace,
+    diurnal_trace,
+    flash_crowd_trace,
+    mmpp_trace,
+    poisson_trace,
+)
 
 __all__ = [
+    "ArrivalTrace",
     "Batch",
     "BatchingConfig",
     "DemoSystem",
@@ -45,7 +56,12 @@ __all__ = [
     "ServerConfig",
     "ServingReport",
     "build_demo_system",
+    "burst_trace",
+    "diurnal_trace",
+    "flash_crowd_trace",
+    "mmpp_trace",
     "percentile",
+    "poisson_trace",
     "run_load",
     "sweep_offered_load",
 ]

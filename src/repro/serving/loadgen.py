@@ -9,6 +9,12 @@ Two canonical client models:
   wait, and immediately submit again (models a worker pool; measures
   sustainable throughput).
 
+A third mode, **trace**, replays an explicit arrival schedule (a
+:class:`repro.serving.traffic.ArrivalTrace`) against the real server —
+the same schedule :func:`repro.edge.simulator.simulate_inference`
+accepts as ``arrival_times``, so simulated capacity plans can be
+validated against live serving with identical traffic.
+
 :func:`sweep_offered_load` runs the open loop at several rates and
 returns the latency-vs-offered-load curve the benchmarks plot.
 """
@@ -31,12 +37,16 @@ from .telemetry import ServingReport, _round, percentile
 @dataclasses.dataclass(frozen=True)
 class LoadgenConfig:
     num_requests: int = 200
-    mode: str = "closed"               # "open" (Poisson) or "closed"
+    mode: str = "closed"               # "open" (Poisson), "closed", "trace"
     offered_rps: float = 100.0         # open loop: mean arrival rate
     concurrency: int = 4               # closed loop: in-flight clients
     images_per_request: int = 1
     request_timeout_s: float = 30.0
     seed: int = 0
+    # Trace mode: absolute arrival offsets in seconds from run start
+    # (sorted, non-negative — e.g. an ArrivalTrace's ``arrivals``).
+    # Overrides num_requests/offered_rps.
+    arrivals: tuple[float, ...] | None = None
 
 
 # Supplies each request's input: (rng, images_per_request) -> array.
@@ -48,7 +58,10 @@ MakeInput = Callable[[np.random.Generator, int], np.ndarray]
 @dataclasses.dataclass
 class LoadgenResult:
     config: LoadgenConfig
-    offered_rps: float                 # requested rate (nan for closed loop)
+    # Requested rate; None for closed-loop runs, where there is no offered
+    # rate (arrivals are completion-driven).  Must stay None rather than
+    # NaN so row() serializes under json.dumps(..., allow_nan=False).
+    offered_rps: float | None
     achieved_rps: float
     completed: int
     errors: int
@@ -74,7 +87,10 @@ class LoadgenResult:
     def row(self) -> dict:
         return {
             "mode": self.config.mode,
-            "offered_rps": None if math.isnan(self.offered_rps)
+            # Guard NaN as well as None: a pre-fix caller may still pass
+            # float("nan") for closed-loop runs.
+            "offered_rps": None
+            if self.offered_rps is None or math.isnan(self.offered_rps)
             else round(self.offered_rps, 1),
             "achieved_rps": round(self.achieved_rps, 2),
             "completed": self.completed,
@@ -106,12 +122,12 @@ def run_load(server: InferenceServer, input_shape: tuple[int, ...],
     if make_input is None:
         def make_input(rng, count):
             return _make_input(rng, input_shape, count)
-    if config.mode == "open":
+    if config.mode in ("open", "trace"):
         return _run_open_loop(server, config, make_input)
     if config.mode == "closed":
         return _run_closed_loop(server, config, make_input)
     raise ValueError(f"unknown loadgen mode {config.mode!r}; "
-                     "choose 'open' or 'closed'")
+                     "choose 'open', 'closed' or 'trace'")
 
 
 def _collect(server: InferenceServer, config: LoadgenConfig,
@@ -146,8 +162,22 @@ def _collect(server: InferenceServer, config: LoadgenConfig,
     )
 
 
+def _trace_offsets(config: LoadgenConfig) -> list[float]:
+    """Validated arrival offsets for trace mode (seconds from run start)."""
+    if not config.arrivals:
+        raise ValueError("trace mode requires config.arrivals")
+    offsets = [float(t) for t in config.arrivals]
+    if not all(math.isfinite(t) for t in offsets) or offsets[0] < 0:
+        raise ValueError("trace arrivals must be finite and non-negative")
+    if any(b < a for a, b in zip(offsets, offsets[1:])):
+        raise ValueError("trace arrivals must be sorted")
+    return offsets
+
+
 def _run_open_loop(server: InferenceServer, config: LoadgenConfig,
                    make_input: MakeInput) -> LoadgenResult:
+    """Arrival-paced driver: Poisson ("open") or trace replay ("trace")."""
+    offsets = _trace_offsets(config) if config.mode == "trace" else None
     rng = np.random.default_rng(config.seed)
     futures: list[ServedFuture] = []
     dropped = 0
@@ -155,8 +185,12 @@ def _run_open_loop(server: InferenceServer, config: LoadgenConfig,
     started_at = time.time()
     start = time.perf_counter()
     next_arrival = start
-    for _ in range(config.num_requests):
-        next_arrival += rng.exponential(1.0 / config.offered_rps)
+    num_requests = config.num_requests if offsets is None else len(offsets)
+    for k in range(num_requests):
+        if offsets is None:
+            next_arrival += rng.exponential(1.0 / config.offered_rps)
+        else:
+            next_arrival = start + offsets[k]
         delay = next_arrival - time.perf_counter()
         if delay > 0:
             time.sleep(delay)
@@ -171,8 +205,12 @@ def _run_open_loop(server: InferenceServer, config: LoadgenConfig,
         except Exception:
             pass                       # recorded as an error during collect
     wall = time.perf_counter() - start
+    if offsets is None:
+        offered = config.offered_rps
+    else:                              # trace: mean rate over the span
+        offered = (len(offsets) / offsets[-1]) if offsets[-1] > 0 else None
     return _collect(server, config, futures, dropped, wall,
-                    offered_rps=config.offered_rps,
+                    offered_rps=offered,
                     records_before=records_before, started_at=started_at)
 
 
@@ -215,17 +253,27 @@ def _run_closed_loop(server: InferenceServer, config: LoadgenConfig,
         thread.join()
     wall = time.perf_counter() - start
     return _collect(server, config, futures, counter["dropped"], wall,
-                    offered_rps=float("nan"),
+                    offered_rps=None,
                     records_before=records_before, started_at=started_at)
 
 
 def sweep_offered_load(server: InferenceServer, input_shape: tuple[int, ...],
                        rates_rps: list[float], num_requests: int = 100,
                        seed: int = 0) -> list[LoadgenResult]:
-    """Open-loop latency-vs-offered-load curve (one result per rate)."""
+    """Open-loop latency-vs-offered-load curve (one result per rate).
+
+    Determinism contract: one child seed per rate is derived from ``seed``
+    via ``np.random.SeedSequence(seed).spawn``, so the same (seed, rates)
+    pair always replays the identical sweep, while every rate's arrival
+    jitter and payloads are statistically independent of every other
+    rate's.  (Reusing ``seed`` verbatim at each rate — the old behaviour —
+    made all points of the curve share one correlated random stream.)
+    """
+    children = np.random.SeedSequence(seed).spawn(len(rates_rps))
     results = []
-    for rate in rates_rps:
+    for rate, child in zip(rates_rps, children):
         config = LoadgenConfig(num_requests=num_requests, mode="open",
-                               offered_rps=rate, seed=seed)
+                               offered_rps=rate,
+                               seed=int(child.generate_state(1)[0]))
         results.append(run_load(server, input_shape, config))
     return results

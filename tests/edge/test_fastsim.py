@@ -1,0 +1,158 @@
+"""Vectorized star-topology scorer: dispatch, exactness, and errors."""
+
+import numpy as np
+import pytest
+
+from repro.edge import fastsim
+from repro.edge.device import DeviceModel
+from repro.edge.simulator import (
+    ENGINES,
+    DeploymentSpec,
+    SubModelProfile,
+    simulate_inference,
+)
+
+
+def build_spec(n_devices=4, models_per_device=1, input_bytes=0,
+               seed=7) -> DeploymentSpec:
+    rng = np.random.default_rng(seed)
+    devices = [DeviceModel(f"d{i}", macs_per_second=float(rng.uniform(5e8, 2e9)))
+               for i in range(n_devices)]
+    placement, profiles = {}, {}
+    for i in range(n_devices):
+        for j in range(models_per_device):
+            mid = f"m{i}_{j}"
+            placement[mid] = f"d{i}"
+            profiles[mid] = SubModelProfile(
+                mid, flops_per_sample=float(rng.uniform(1e7, 5e8)),
+                feature_dim=int(rng.integers(32, 256)))
+    return DeploymentSpec(devices=devices, placement=placement,
+                          profiles=profiles,
+                          fusion_device=DeviceModel("fusion"),
+                          fusion_flops=1e8, input_bytes=input_bytes)
+
+
+def assert_bit_identical(a, b):
+    assert a.latencies == b.latencies
+    assert a.makespan == b.makespan
+    assert a.device_busy == b.device_busy
+    assert a.link_busy == b.link_busy
+    assert a.busy_segments == b.busy_segments
+
+
+class TestDispatch:
+    def test_auto_uses_vector_for_star_runs(self):
+        result = simulate_inference(build_spec(), num_samples=4,
+                                    arrival_interval=0.01)
+        assert result.engine == "vector"
+
+    def test_event_engine_is_forceable(self):
+        result = simulate_inference(build_spec(), num_samples=4,
+                                    engine="event")
+        assert result.engine == "event"
+
+    def test_auto_falls_back_on_streamed_input_shipping(self):
+        # Input shipping + staggered arrivals interleaves the uplink in a
+        # queue-dependent order: not closed-form, must use the event loop.
+        spec = build_spec(input_bytes=4096)
+        result = simulate_inference(spec, num_samples=4,
+                                    arrival_interval=0.01)
+        assert result.engine == "event"
+
+    def test_vector_forced_on_inapplicable_run_raises(self):
+        spec = build_spec(input_bytes=4096)
+        with pytest.raises(ValueError, match="star pattern"):
+            simulate_inference(spec, num_samples=4, arrival_interval=0.01,
+                               engine="vector")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate_inference(build_spec(), engine="warp")
+        assert ENGINES == ("auto", "event", "vector")
+
+    def test_batch_input_shipping_is_vectorizable(self):
+        spec = build_spec(input_bytes=4096)
+        assert fastsim.applicable(spec, [0.0, 0.0, 0.0])
+        assert not fastsim.applicable(spec, [0.0, 0.1])
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_samples=1),
+        dict(num_samples=8),
+        dict(num_samples=8, arrival_interval=0.005),
+        dict(arrival_times=[0.0, 0.0, 0.001, 0.02, 0.02, 0.5]),
+    ])
+    def test_engines_bit_identical(self, kwargs):
+        spec = build_spec(n_devices=5, models_per_device=2)
+        event = simulate_inference(spec, engine="event", **kwargs)
+        vector = simulate_inference(spec, engine="vector", **kwargs)
+        assert vector.engine == "vector"
+        assert_bit_identical(event, vector)
+
+    def test_batch_input_shipping_bit_identical(self):
+        spec = build_spec(n_devices=3, models_per_device=2, input_bytes=8192)
+        event = simulate_inference(spec, num_samples=6, engine="event")
+        vector = simulate_inference(spec, num_samples=6, engine="vector")
+        assert_bit_identical(event, vector)
+
+    def test_failed_devices_bit_identical(self):
+        spec = build_spec(n_devices=6)
+        for failed in ({"d0"}, {"d0", "d4"},
+                       {f"d{i}" for i in range(6)}):
+            event = simulate_inference(spec, num_samples=5,
+                                       arrival_interval=0.002,
+                                       failed_devices=failed, engine="event")
+            vector = simulate_inference(spec, num_samples=5,
+                                        arrival_interval=0.002,
+                                        failed_devices=failed,
+                                        engine="vector")
+            assert_bit_identical(event, vector)
+
+    def test_unknown_placement_device_raises(self):
+        spec = build_spec(n_devices=2)
+        spec.placement["ghost"] = "nope"
+        with pytest.raises(KeyError):
+            simulate_inference(spec, engine="vector")
+
+
+class TestArrivalTimes:
+    def test_trace_drives_the_schedule(self):
+        spec = build_spec(n_devices=2)
+        arrivals = [0.0, 1.0, 5.0]
+        result = simulate_inference(spec, arrival_times=arrivals)
+        assert len(result.latencies) == 3
+        # A widely-spaced trace cannot queue: every sample sees the same
+        # unloaded pipeline, so all latencies are identical.
+        assert result.latencies[1] == result.latencies[2]
+
+    def test_rejects_both_interval_and_times(self):
+        with pytest.raises(ValueError, match="not both"):
+            simulate_inference(build_spec(), arrival_interval=0.1,
+                               arrival_times=[0.0])
+
+    @pytest.mark.parametrize("times", [[], [0.5, 0.1], [-1.0, 0.0],
+                                       [0.0, float("nan")],
+                                       [0.0, float("inf")]])
+    def test_rejects_invalid_traces(self, times):
+        with pytest.raises(ValueError):
+            simulate_inference(build_spec(), arrival_times=times)
+
+
+class TestResultSegments:
+    def test_busy_within_matches_totals(self):
+        spec = build_spec(n_devices=3)
+        result = simulate_inference(spec, num_samples=4,
+                                    arrival_interval=0.003)
+        for device_id, busy in result.device_busy.items():
+            horizon = result.makespan + 1.0
+            assert result.busy_within(f"cpu:{device_id}", horizon) == \
+                pytest.approx(busy)
+        assert result.utilization("cpu:d0", result.makespan) <= 1.0
+        assert result.utilization("cpu:d0", 0.0) == 0.0
+
+    def test_merge_segments_drops_zero_length_and_joins_touching(self):
+        starts = np.array([0.0, 1.0, 2.0, 5.0])
+        finishes = np.array([1.0, 2.0, 2.0, 6.0])
+        assert fastsim._merge_segments(starts, finishes) == \
+            [(0.0, 2.0), (5.0, 6.0)]

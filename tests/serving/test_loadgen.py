@@ -103,3 +103,85 @@ def test_unknown_mode_rejected(system):
     with make_server(system) as server:
         with pytest.raises(ValueError):
             run_load(server, system.input_shape, LoadgenConfig(mode="sine"))
+
+
+class TestTraceMode:
+    def test_replays_an_explicit_schedule(self, system):
+        arrivals = tuple(i * 0.004 for i in range(25))
+        with make_server(system) as server:
+            result = run_load(server, system.input_shape,
+                              LoadgenConfig(mode="trace", arrivals=arrivals))
+        assert result.completed == 25
+        assert result.errors == 0 and result.dropped == 0
+        # Mean offered rate over the trace span, not config.offered_rps.
+        assert result.offered_rps == pytest.approx(25 / arrivals[-1])
+
+    def test_instant_trace_has_no_offered_rate(self, system):
+        with make_server(system) as server:
+            result = run_load(server, system.input_shape,
+                              LoadgenConfig(mode="trace",
+                                            arrivals=(0.0, 0.0, 0.0)))
+        assert result.completed == 3
+        assert result.offered_rps is None
+
+    def test_trace_mode_requires_valid_arrivals(self, system):
+        with make_server(system) as server:
+            for bad in (None, (), (0.2, 0.1), (-1.0,), (float("nan"),)):
+                with pytest.raises(ValueError):
+                    run_load(server, system.input_shape,
+                             LoadgenConfig(mode="trace", arrivals=bad))
+
+
+class TestRowSerialization:
+    def test_closed_loop_row_survives_allow_nan_false(self, system):
+        """Regression: offered_rps was NaN for closed loops, which blew up
+        json.dumps(..., allow_nan=False) in --json consumers."""
+        import json
+
+        with make_server(system) as server:
+            result = run_load(server, system.input_shape,
+                              LoadgenConfig(num_requests=8, mode="closed",
+                                            concurrency=2))
+        assert result.offered_rps is None
+        row = result.row()
+        assert row["offered_rps"] is None
+        json.dumps(row, allow_nan=False)  # must not raise
+
+    def test_row_still_guards_legacy_nan(self, system):
+        import dataclasses
+        import json
+
+        with make_server(system) as server:
+            result = run_load(server, system.input_shape,
+                              LoadgenConfig(num_requests=4, mode="closed",
+                                            concurrency=2))
+        legacy = dataclasses.replace(result, offered_rps=float("nan"))
+        assert legacy.row()["offered_rps"] is None
+        json.dumps(legacy.row(), allow_nan=False)
+
+
+class TestSweepSeeds:
+    def test_each_rate_gets_an_independent_derived_seed(self, system,
+                                                        monkeypatch):
+        """Regression: the sweep reused the caller's seed verbatim at every
+        rate, correlating all points of the latency curve."""
+        from repro.serving import loadgen
+
+        seen = []
+
+        def fake_run_load(server, input_shape, config, make_input=None):
+            seen.append(config)
+            return "sentinel"
+
+        monkeypatch.setattr(loadgen, "run_load", fake_run_load)
+        results = loadgen.sweep_offered_load(None, (3, 8, 8),
+                                             [50.0, 100.0, 200.0], seed=7)
+        assert results == ["sentinel"] * 3
+        seeds = [c.seed for c in seen]
+        assert len(set(seeds)) == 3          # pairwise independent streams
+        assert seeds != [7, 7, 7]
+
+        seen.clear()
+        loadgen.sweep_offered_load(None, (3, 8, 8), [50.0, 100.0, 200.0],
+                                   seed=7)
+        assert [c.seed for c in seen] == seeds   # deterministic contract
